@@ -1,0 +1,90 @@
+// E5 — Personalizing web search without disclosing history (use case
+// 2.2).
+//
+// Paper: the gardener searching "rosebud" wants flowers, not Citizen
+// Kane; the browser can supplement the query ("rosebud flower") using
+// provenance, "without giving information about the user to the search
+// engine".
+//
+// The vocabulary plants ambiguous terms shared between topic pairs. For
+// each ambiguous term the simulated user actually searched, we ask the
+// engine for the plain vs augmented query and measure the rank of the
+// first result matching the user's primary topic — plus an audit of the
+// bytes disclosed to the engine.
+#include "bench/common.hpp"
+#include "search/personalize.hpp"
+#include "text/tokenizer.hpp"
+
+int main() {
+  using namespace bp;
+  using namespace bp::bench;
+
+  Header("E5", "personalized web search via provenance query augmentation",
+         "engine sees only e.g. \"rosebud flower\"; results match the "
+         "user's intent; zero history rows leave the machine");
+
+  auto fx = HistoryFixture::Build({});
+  const uint32_t primary = fx->out.primary_topic;
+  Row("user's primary topic: %u", primary);
+
+  // Ambiguous terms the user searched while in their primary topic.
+  std::vector<std::string> probes;
+  for (const auto& episode : fx->out.searches) {
+    if (episode.topic != primary) continue;
+    for (const std::string& term : text::Tokenize(episode.query)) {
+      if (fx->vocab.TopicsOf(term).size() > 1 &&
+          std::find(probes.begin(), probes.end(), term) == probes.end()) {
+        probes.push_back(term);
+      }
+    }
+  }
+  if (probes.size() > 12) probes.resize(12);
+  Row("ambiguous probe terms found in user's own searches: %zu",
+      probes.size());
+  Blank();
+
+  auto rank_of_primary = [&](const std::vector<std::string>& terms) {
+    auto results = fx->web.Search(terms, 10);
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (fx->web.page(results[i].page).topic == primary) {
+        return static_cast<int>(i + 1);
+      }
+    }
+    return 0;  // not in top 10
+  };
+
+  Row("%-18s %-34s %10s %10s %9s", "query", "augmented as", "plain rank",
+      "aug rank", "disclosed");
+  double plain_sum = 0, aug_sum = 0;
+  int n = 0, plain_top1 = 0, aug_top1 = 0;
+  for (const std::string& probe : probes) {
+    auto result =
+        MustOk(search::PersonalizeQuery(*fx->searcher, probe, {}),
+               "personalize");
+    int plain = rank_of_primary({probe});
+    std::vector<std::string> aug_terms = text::Tokenize(
+        result.AugmentedQuery());
+    int augmented = rank_of_primary(aug_terms);
+    // Rank 0 (absent) counts as 11 for averaging.
+    plain_sum += plain == 0 ? 11 : plain;
+    aug_sum += augmented == 0 ? 11 : augmented;
+    if (plain == 1) ++plain_top1;
+    if (augmented == 1) ++aug_top1;
+    ++n;
+    Row("%-18s %-34s %10d %10d %8zuB", probe.c_str(),
+        result.AugmentedQuery().c_str(), plain, augmented,
+        result.DisclosedBytes());
+  }
+  if (n > 0) {
+    Blank();
+    Row("mean rank of first primary-topic result: plain %.2f -> augmented "
+        "%.2f (lower is better)",
+        plain_sum / n, aug_sum / n);
+    Row("top-1 rate: plain %d/%d -> augmented %d/%d", plain_top1, n,
+        aug_top1, n);
+  }
+  Blank();
+  Row("privacy audit: information sent to the engine = the augmented query");
+  Row("string only; history rows disclosed: 0 (all mining ran locally)");
+  return 0;
+}

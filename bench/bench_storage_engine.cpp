@@ -1,0 +1,149 @@
+// E11 — Storage-engine microbenchmarks (google-benchmark).
+//
+// Substrate soundness for every experiment above: B+tree point ops and
+// scans, transaction commit, overflow values, adjacency-range scans, and
+// inverted-index postings. Not a paper claim per se — it grounds the
+// latency results by showing where the time goes.
+#include <benchmark/benchmark.h>
+
+#include "storage/btree.hpp"
+#include "storage/db.hpp"
+#include "storage/env.hpp"
+#include "text/index.hpp"
+#include "util/rng.hpp"
+#include "util/serde.hpp"
+
+namespace {
+
+using namespace bp;
+
+struct EngineFixture {
+  storage::MemEnv env;
+  std::unique_ptr<storage::Db> db;
+  storage::BTree* tree = nullptr;
+
+  explicit EngineFixture(size_t preload = 0) {
+    storage::DbOptions opts;
+    opts.env = &env;
+    opts.sync = false;
+    db = std::move(*storage::Db::Open("bench.db", opts));
+    tree = *db->CreateTree("t");
+    util::Rng rng(1);
+    for (size_t i = 0; i < preload; ++i) {
+      (void)tree->Put(util::OrderedKeyU64(rng.NextU64()),
+                      std::string(64, 'v'));
+    }
+  }
+};
+
+void BM_BTreePutSequential(benchmark::State& state) {
+  EngineFixture fx;
+  uint64_t key = 0;
+  std::string value(64, 'v');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx.tree->Put(util::OrderedKeyU64(key++), value).ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreePutSequential);
+
+void BM_BTreePutRandom(benchmark::State& state) {
+  EngineFixture fx;
+  util::Rng rng(2);
+  std::string value(64, 'v');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx.tree->Put(util::OrderedKeyU64(rng.NextU64()), value).ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreePutRandom);
+
+void BM_BTreeGetHit(benchmark::State& state) {
+  EngineFixture fx(static_cast<size_t>(state.range(0)));
+  // Re-derive the preloaded keys.
+  util::Rng rng(1);
+  std::vector<std::string> keys;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    keys.push_back(util::OrderedKeyU64(rng.NextU64()));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.tree->Get(keys[i++ % keys.size()]).ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeGetHit)->Arg(1000)->Arg(30000);
+
+void BM_BTreeScan100(benchmark::State& state) {
+  EngineFixture fx(30000);
+  for (auto _ : state) {
+    int n = 0;
+    (void)fx.tree->ForEach([&](std::string_view, std::string_view) {
+      return ++n < 100;
+    });
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_BTreeScan100);
+
+void BM_OverflowValueRoundTrip(benchmark::State& state) {
+  EngineFixture fx;
+  std::string big(static_cast<size_t>(state.range(0)), 'x');
+  uint64_t key = 0;
+  for (auto _ : state) {
+    std::string k = util::OrderedKeyU64(key++ % 64);
+    benchmark::DoNotOptimize(fx.tree->Put(k, big).ok());
+    benchmark::DoNotOptimize(fx.tree->Get(k).ok());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_OverflowValueRoundTrip)->Arg(4096)->Arg(65536);
+
+void BM_TransactionCommit(benchmark::State& state) {
+  EngineFixture fx;
+  uint64_t key = 0;
+  std::string value(64, 'v');
+  for (auto _ : state) {
+    (void)fx.db->Begin();
+    for (int i = 0; i < state.range(0); ++i) {
+      (void)fx.tree->Put(util::OrderedKeyU64(key++), value);
+    }
+    (void)fx.db->Commit();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TransactionCommit)->Arg(1)->Arg(64);
+
+void BM_PostingsAppendAndSearch(benchmark::State& state) {
+  storage::MemEnv env;
+  storage::DbOptions opts;
+  opts.env = &env;
+  opts.sync = false;
+  auto db = std::move(*storage::Db::Open("idx.db", opts));
+  auto index = std::move(*text::InvertedIndex::Open(*db, "ix"));
+  util::Rng rng(3);
+  std::vector<std::string> vocabulary;
+  for (int i = 0; i < 500; ++i) {
+    vocabulary.push_back("term" + std::to_string(i));
+  }
+  text::DocId doc = 1;
+  for (auto _ : state) {
+    std::vector<std::string> tokens;
+    for (int i = 0; i < 12; ++i) {
+      tokens.push_back(vocabulary[rng.Zipf(vocabulary.size(), 1.1)]);
+    }
+    (void)index->AddDocument(doc++, tokens);
+    if (doc % 64 == 0) {
+      benchmark::DoNotOptimize(index->Search({tokens[0]}, 10).ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PostingsAppendAndSearch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// E1 — Storage overhead of the provenance schema over Places.
+//
+// Paper (section 4): "The total storage overhead of this schema over
+// Places is 39.5%, but on real data, this represents less than 5MB
+// because Places is quite conservative."
+//
+// Both recorders ingest the same 79-day stream into one database; bytes
+// are attributed per tree namespace by the storage engine's space
+// accounting (pages x page size, as one would measure SQLite tables).
+// The text index used by search is reported separately: it is IR
+// infrastructure, not part of the provenance schema the paper measures.
+#include "bench/common.hpp"
+
+int main() {
+  using namespace bp;
+  using namespace bp::bench;
+
+  Header("E1", "storage overhead: provenance schema vs Places baseline",
+         "39.5% overhead over Places; < 5 MB on a real 79-day history");
+
+  auto fx = HistoryFixture::Build({});
+  auto space = MustOk(fx->db->Space(), "space report");
+
+  const uint64_t places_bytes = space.BytesForPrefix("places.");
+  const uint64_t prov_bytes = space.BytesForPrefix("prov.");
+  const uint64_t text_bytes = space.BytesForPrefix("textindex.");
+  // The paper's provenance schema subsumes Places (pages, bookmarks,
+  // downloads become homogeneous nodes), so the comparable figure is the
+  // cost of REPLACING Places: (prov - places) / places. The side-by-side
+  // ratio prov/places is printed too.
+  const double replace_overhead =
+      100.0 * (static_cast<double>(prov_bytes) -
+               static_cast<double>(places_bytes)) /
+      static_cast<double>(places_bytes);
+  const double side_by_side =
+      100.0 * static_cast<double>(prov_bytes) /
+      static_cast<double>(places_bytes);
+
+  Row("history scale: %u days, %llu visits, %llu prov nodes, %llu prov edges",
+      79, (unsigned long long)fx->out.total_visits,
+      (unsigned long long)*fx->prov->NodeCount(),
+      (unsigned long long)*fx->prov->EdgeCount());
+  Blank();
+  Row("%-34s %12s %10s", "schema (tree namespace)", "bytes", "human");
+  Row("%-34s %12llu %10s", "places.* (Firefox baseline)",
+      (unsigned long long)places_bytes,
+      util::HumanBytes(places_bytes).c_str());
+  Row("%-34s %12llu %10s", "prov.* (provenance graph)",
+      (unsigned long long)prov_bytes, util::HumanBytes(prov_bytes).c_str());
+  Row("%-34s %12llu %10s", "textindex.* (IR index, reported only)",
+      (unsigned long long)text_bytes, util::HumanBytes(text_bytes).c_str());
+  Blank();
+  Row("overhead of replacing Places with the provenance schema: %.1f%%",
+      replace_overhead);
+  Row("  (paper: 39.5%% — their schema reuses SQLite/Places row storage;");
+  Row("   ours pays extra for graph adjacency indexes, see EXPERIMENTS.md)");
+  Row("side-by-side ratio prov/places: %.1f%%", side_by_side);
+  Row("absolute provenance footprint:  %s   (paper: < 5 MB)",
+      util::HumanBytes(prov_bytes).c_str());
+  Blank();
+
+  // Per-tree breakdown for the curious.
+  Row("%-34s %10s %8s %8s", "tree", "pages", "cells", "depth");
+  for (const auto& entry : space.trees) {
+    Row("%-34s %10llu %8llu %8u", entry.name.c_str(),
+        (unsigned long long)entry.stats.TotalPages(),
+        (unsigned long long)entry.stats.cells, entry.stats.depth);
+  }
+  return 0;
+}

@@ -1,0 +1,170 @@
+// Shared fixture and reporting helpers for the experiment benches.
+//
+// Every experiment binary builds (or reuses) a simulated history of the
+// paper's scale — 79 days, >25,000 provenance nodes — ingested through
+// BOTH recorders into one database, then prints a paper-style table with
+// the paper's claimed value next to the measured one.
+#pragma once
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "capture/bus.hpp"
+#include "capture/recorders.hpp"
+#include "places/places.hpp"
+#include "prov/prov_store.hpp"
+#include "search/history_search.hpp"
+#include "sim/browser.hpp"
+#include "sim/vocab.hpp"
+#include "sim/web.hpp"
+#include "storage/env.hpp"
+#include "util/require.hpp"
+#include "util/strings.hpp"
+#include "util/time.hpp"
+
+namespace bp::bench {
+
+// Aborts with a message on error — benches have no one to return Status
+// to.
+template <typename T>
+T MustOk(util::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+inline void MustOk(util::Status status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+    std::abort();
+  }
+}
+
+struct FixtureOptions {
+  uint32_t days = 79;
+  uint64_t seed = 2009;  // year of the paper
+  prov::VersionPolicy policy = prov::VersionPolicy::kVersionNodes;
+  bool record_close_times = true;
+  double redirect_fraction = 0.06;  // web knob (E9 raises it)
+  sim::UserConfig user;             // overrides applied after defaults
+  bool user_overridden = false;
+};
+
+// A complete simulated world + populated database.
+struct HistoryFixture {
+  storage::MemEnv env;
+  sim::Vocabulary vocab;
+  sim::WebGraph web;
+  sim::SimOutput out;
+  std::unique_ptr<storage::Db> db;
+  std::unique_ptr<places::PlacesStore> places;
+  std::unique_ptr<prov::ProvStore> prov;
+  std::unique_ptr<capture::PlacesRecorder> places_recorder;
+  std::unique_ptr<capture::ProvenanceRecorder> prov_recorder;
+  std::unique_ptr<search::HistorySearcher> searcher;
+  double ingest_seconds = 0;
+
+  static std::unique_ptr<HistoryFixture> Build(FixtureOptions options) {
+    auto fx = std::make_unique<HistoryFixture>();
+    util::Rng rng(options.seed);
+    fx->vocab = sim::Vocabulary::Create(rng, {});
+    sim::WebConfig web_config;
+    web_config.redirect_page_fraction = options.redirect_fraction;
+    fx->web = sim::WebGraph::Generate(rng, web_config, fx->vocab);
+
+    sim::UserConfig user = options.user;
+    if (!options.user_overridden) {
+      user = sim::UserConfig{};
+    }
+    user.seed = options.seed + 1;
+    user.days = options.days;
+    fx->out = sim::BrowserSim(fx->web, user).Run();
+
+    storage::DbOptions db_opts;
+    db_opts.env = &fx->env;
+    db_opts.sync = false;  // measuring CPU/layout, not fsync
+    fx->db = MustOk(storage::Db::Open("bench.db", db_opts), "open db");
+    fx->places = MustOk(places::PlacesStore::Open(*fx->db), "places");
+    prov::ProvOptions prov_opts;
+    prov_opts.policy = options.policy;
+    prov_opts.record_close_times = options.record_close_times;
+    fx->prov = MustOk(prov::ProvStore::Open(*fx->db, prov_opts), "prov");
+
+    fx->places_recorder =
+        std::make_unique<capture::PlacesRecorder>(*fx->places);
+    fx->prov_recorder =
+        std::make_unique<capture::ProvenanceRecorder>(*fx->prov);
+    capture::EventBus bus;
+    bus.Subscribe(fx->places_recorder.get());
+    bus.Subscribe(fx->prov_recorder.get());
+    util::Stopwatch watch;
+    MustOk(bus.PublishAll(fx->out.events), "ingest");
+    fx->ingest_seconds = watch.ElapsedMs() / 1000.0;
+
+    fx->searcher =
+        MustOk(search::HistorySearcher::Open(*fx->db, *fx->prov),
+               "searcher");
+    return fx;
+  }
+};
+
+// ------------------------------------------------------------ reporting
+
+inline void Header(const std::string& id, const std::string& title,
+                   const std::string& paper_claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("paper claim: %s\n", paper_claim.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void Row(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+inline void Row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+// Blank separator line (avoids -Wformat-zero-length on Row("")).
+inline void Blank() { std::printf("\n"); }
+
+struct Percentiles {
+  double p50 = 0, p90 = 0, p99 = 0, max = 0, mean = 0;
+};
+
+inline Percentiles ComputePercentiles(std::vector<double> samples) {
+  Percentiles out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  auto at = [&](double q) {
+    size_t i = static_cast<size_t>(q * (samples.size() - 1));
+    return samples[i];
+  };
+  out.p50 = at(0.50);
+  out.p90 = at(0.90);
+  out.p99 = at(0.99);
+  out.max = samples.back();
+  for (double s : samples) out.mean += s;
+  out.mean /= static_cast<double>(samples.size());
+  return out;
+}
+
+// Mean reciprocal rank helpers for the quality benches.
+inline double ReciprocalRank(const std::vector<search::RankedPage>& pages,
+                             const std::string& url) {
+  for (size_t i = 0; i < pages.size(); ++i) {
+    if (pages[i].url == url) return 1.0 / static_cast<double>(i + 1);
+  }
+  return 0.0;
+}
+
+}  // namespace bp::bench

@@ -1,0 +1,55 @@
+// Private web-search personalization (use case 2.2): the gardener whose
+// "rosebud" means a flower, not a sled. The browser augments her query
+// locally from provenance; the engine never sees her history.
+//
+// Build & run:   ./build/examples/private_personalization
+#include <cstdio>
+
+#include "capture/bus.hpp"
+#include "capture/recorders.hpp"
+#include "search/personalize.hpp"
+#include "sim/scenario.hpp"
+#include "storage/db.hpp"
+
+using namespace bp;
+
+int main() {
+  storage::MemEnv env;
+  storage::DbOptions db_options;
+  db_options.env = &env;
+  auto db = storage::Db::Open("gardener.db", db_options);
+  auto store = prov::ProvStore::Open(**db, {});
+  capture::ProvenanceRecorder recorder(**store);
+  capture::EventBus bus;
+  bus.Subscribe(&recorder);
+
+  // Four evenings of rosebud searches that all ended on horticulture
+  // pages.
+  sim::GardenerScenario scenario = sim::MakeGardenerScenario();
+  if (!bus.PublishAll(scenario.events).ok()) return 1;
+
+  auto searcher = search::HistorySearcher::Open(**db, **store);
+  auto result =
+      search::PersonalizeQuery(**searcher, scenario.ambiguous_query);
+
+  std::printf("the user types:        \"%s\"\n",
+              scenario.ambiguous_query.c_str());
+  std::printf("the engine receives:   \"%s\"\n",
+              result->AugmentedQuery().c_str());
+  std::printf("bytes disclosed:       %zu (the query string, nothing "
+              "else)\n\n",
+              result->DisclosedBytes());
+
+  std::printf("how the browser decided (all local, never sent):\n");
+  int shown = 0;
+  for (const auto& candidate : result->candidates) {
+    std::printf("  %-14s %.3f\n", candidate.term.c_str(), candidate.score);
+    if (++shown >= 8) break;
+  }
+  std::printf("\nwith \"%s\" added, an engine disambiguates toward "
+              "gardening —\nwithout ever learning why.\n",
+              result->expansion_terms.empty()
+                  ? "(nothing)"
+                  : result->expansion_terms[0].c_str());
+  return 0;
+}

@@ -1,0 +1,45 @@
+// EventBus: fans a browser-event stream out to recorders.
+//
+// The storage-overhead experiment depends on both recorders seeing the
+// SAME stream; the bus is the single point of delivery.
+#pragma once
+
+#include <vector>
+
+#include "capture/events.hpp"
+#include "util/status.hpp"
+
+namespace bp::capture {
+
+// A consumer of browser events (PlacesRecorder, ProvenanceRecorder, ...).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual util::Status OnEvent(const BrowserEvent& event) = 0;
+};
+
+class EventBus {
+ public:
+  // Sinks are not owned; they must outlive the bus.
+  void Subscribe(EventSink* sink) { sinks_.push_back(sink); }
+
+  // Delivers to every sink; stops and reports the first failure.
+  util::Status Publish(const BrowserEvent& event) {
+    for (EventSink* sink : sinks_) {
+      BP_RETURN_IF_ERROR(sink->OnEvent(event));
+    }
+    return util::Status::Ok();
+  }
+
+  util::Status PublishAll(const std::vector<BrowserEvent>& events) {
+    for (const BrowserEvent& event : events) {
+      BP_RETURN_IF_ERROR(Publish(event));
+    }
+    return util::Status::Ok();
+  }
+
+ private:
+  std::vector<EventSink*> sinks_;
+};
+
+}  // namespace bp::capture

@@ -1,0 +1,105 @@
+// The browser event model: what an instrumented browser emits as the
+// user browses. The simulator produces these; recorders consume them.
+//
+// Section 3 of the paper inventories the actions: link traversals, typed
+// URLs, bookmark clicks and creations, new tabs, redirects, embedded
+// content, searches, form submissions, downloads, and page closes. Every
+// one is represented here so the two recorders can be driven by the SAME
+// stream and differ only in what they keep.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace bp::capture {
+
+using util::TimeMs;
+
+// How a page view came to be (superset of Firefox transitions; maps onto
+// places::VisitType and prov::EdgeKind in the recorders).
+enum class NavigationAction : uint8_t {
+  kLink = 1,     // clicked a link on the referrer page
+  kTyped = 2,    // typed / pasted into the location bar
+  kBookmark = 3, // activated a bookmark
+  kEmbed = 4,    // embedded content loaded by the referrer (image/iframe)
+  kRedirect = 5, // server redirect from the referrer
+  kNewTab = 6,   // opened from referrer into a new tab
+  kReload = 7,
+  kFormResult = 8,   // page produced by a form submission
+  kSearchResult = 9, // search-engine results page for a SearchEvent
+};
+
+// One page view. `visit_id` is a stream-unique, monotonically increasing
+// identifier assigned by the producer; `referrer_visit` names the view
+// that caused this one (0 = none, e.g. first typed URL of a session).
+struct VisitEvent {
+  TimeMs time = 0;
+  uint64_t tab = 0;
+  uint64_t visit_id = 0;
+  std::string url;
+  std::string title;
+  NavigationAction action = NavigationAction::kLink;
+  uint64_t referrer_visit = 0;
+  // Cross-references for non-link causes (0 when inapplicable):
+  uint64_t search_id = 0;    // kSearchResult: the SearchEvent
+  uint64_t bookmark_id = 0;  // kBookmark: the BookmarkAddEvent
+  uint64_t form_id = 0;      // kFormResult: the FormSubmitEvent
+};
+
+// The view left the display (tab closed or navigated away).
+struct CloseEvent {
+  TimeMs time = 0;
+  uint64_t tab = 0;
+  uint64_t visit_id = 0;
+};
+
+// The user submitted a search query (results arrive as a VisitEvent with
+// action kSearchResult and matching search_id).
+struct SearchEvent {
+  TimeMs time = 0;
+  uint64_t tab = 0;
+  uint64_t search_id = 0;
+  std::string query;
+  uint64_t from_visit = 0;  // view the user was on when searching
+};
+
+struct BookmarkAddEvent {
+  TimeMs time = 0;
+  uint64_t bookmark_id = 0;
+  std::string url;
+  std::string title;
+  uint64_t from_visit = 0;  // view being bookmarked
+};
+
+struct DownloadEvent {
+  TimeMs time = 0;
+  uint64_t download_id = 0;
+  std::string url;          // resource URL
+  std::string target_path;  // where it was saved
+  uint64_t from_visit = 0;  // view the download was triggered from
+};
+
+// The user submitted a form (result arrives as a VisitEvent with action
+// kFormResult and matching form_id).
+struct FormSubmitEvent {
+  TimeMs time = 0;
+  uint64_t form_id = 0;
+  uint64_t from_visit = 0;
+  std::string field_summary;  // e.g. "destination=paris date=2009-02-23"
+};
+
+using BrowserEvent =
+    std::variant<VisitEvent, CloseEvent, SearchEvent, BookmarkAddEvent,
+                 DownloadEvent, FormSubmitEvent>;
+
+// Time of any event.
+TimeMs EventTime(const BrowserEvent& event);
+
+// Short human-readable description (debugging, examples).
+std::string DescribeEvent(const BrowserEvent& event);
+
+}  // namespace bp::capture

@@ -1,0 +1,82 @@
+// The two history recorders.
+//
+// PlacesRecorder keeps what Firefox 3 keeps — and drops what Firefox
+// drops. ProvenanceRecorder keeps the full provenance graph. Driving
+// both from one event stream realizes the paper's comparison: same
+// browsing, two schemas.
+#pragma once
+
+#include <unordered_map>
+
+#include "capture/bus.hpp"
+#include "capture/events.hpp"
+#include "places/places.hpp"
+#include "prov/prov_store.hpp"
+#include "util/status.hpp"
+
+namespace bp::capture {
+
+// Baseline. Faithfully lossy:
+//   - from_visit is recorded only for link / redirect / embed / form /
+//     search-result navigations; typed, bookmark, and new-tab arrivals
+//     get from_visit = 0 (section 3.2's "second-class citizens").
+//   - Close events are dropped entirely.
+//   - Searches are stored as bare input-history strings.
+//   - Downloads record only their source URL.
+class PlacesRecorder : public EventSink {
+ public:
+  explicit PlacesRecorder(places::PlacesStore& store) : store_(store) {}
+
+  util::Status OnEvent(const BrowserEvent& event) override;
+
+  // Stream visit id -> Places visit row id (exposed for tests).
+  const std::unordered_map<uint64_t, uint64_t>& visit_map() const {
+    return visit_map_;
+  }
+
+ private:
+  util::Status OnVisit(const VisitEvent& event);
+
+  places::PlacesStore& store_;
+  std::unordered_map<uint64_t, uint64_t> visit_map_;
+};
+
+// The provenance-aware recorder: every event becomes nodes/edges in the
+// unified graph, including the relationships Places cannot express.
+class ProvenanceRecorder : public EventSink {
+ public:
+  explicit ProvenanceRecorder(prov::ProvStore& store) : store_(store) {}
+
+  util::Status OnEvent(const BrowserEvent& event) override;
+
+  // Stream visit id -> view node (visit node under node versioning,
+  // page node under edge timestamping).
+  const std::unordered_map<uint64_t, prov::NodeId>& visit_map() const {
+    return visit_map_;
+  }
+  // Stream search/bookmark/download/form ids -> their nodes.
+  const std::unordered_map<uint64_t, prov::NodeId>& search_map() const {
+    return search_map_;
+  }
+  const std::unordered_map<uint64_t, prov::NodeId>& bookmark_map() const {
+    return bookmark_map_;
+  }
+  const std::unordered_map<uint64_t, prov::NodeId>& download_map() const {
+    return download_map_;
+  }
+  const std::unordered_map<uint64_t, prov::NodeId>& form_map() const {
+    return form_map_;
+  }
+
+ private:
+  util::Status OnVisit(const VisitEvent& event);
+
+  prov::ProvStore& store_;
+  std::unordered_map<uint64_t, prov::NodeId> visit_map_;
+  std::unordered_map<uint64_t, prov::NodeId> search_map_;
+  std::unordered_map<uint64_t, prov::NodeId> bookmark_map_;
+  std::unordered_map<uint64_t, prov::NodeId> download_map_;
+  std::unordered_map<uint64_t, prov::NodeId> form_map_;
+};
+
+}  // namespace bp::capture

@@ -1,0 +1,422 @@
+#include "graph/algo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <unordered_set>
+
+#include "util/require.hpp"
+
+namespace bp::graph {
+
+using util::QueryBudget;
+using util::Result;
+using util::Status;
+
+std::vector<NodeId> TraversalResult::PathTo(NodeId node) const {
+  std::unordered_map<NodeId, NodeId> parent;
+  parent.reserve(visits.size());
+  bool found = false;
+  for (const VisitRecord& v : visits) {
+    parent[v.node] = v.via_node;
+    if (v.node == node) found = true;
+  }
+  if (!found) return {};
+  std::vector<NodeId> path;
+  NodeId cur = node;
+  while (true) {
+    path.push_back(cur);
+    NodeId up = parent.at(cur);
+    if (up == cur || up == 0) break;  // start nodes link to themselves/0
+    cur = up;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+namespace {
+
+bool PassesFilter(const EdgeFilter& filter, const Edge& edge) {
+  return !filter || filter(edge);
+}
+
+// Shared BFS core. `expand_both` traverses edges in both directions
+// (used by neighborhood building); otherwise only options.direction.
+// on_visit returns false to stop the whole traversal.
+Status BfsCore(const GraphStore& store, NodeId start,
+               const TraversalOptions& options, bool expand_both,
+               bool* truncated,
+               const std::function<bool(const VisitRecord&)>& on_visit) {
+  BP_ASSIGN_OR_RETURN(bool exists, store.HasNode(start));
+  if (!exists) return Status::NotFound("Bfs: start node does not exist");
+
+  std::unordered_set<NodeId> seen{start};
+  std::deque<VisitRecord> queue{VisitRecord{start, 0, 0, start}};
+  uint64_t visited = 0;
+  *truncated = false;
+
+  while (!queue.empty()) {
+    VisitRecord rec = queue.front();
+    queue.pop_front();
+
+    if (options.budget != nullptr && !options.budget->Charge()) {
+      *truncated = true;
+      break;
+    }
+    if (visited >= options.max_nodes) {
+      *truncated = true;
+      break;
+    }
+    ++visited;
+    if (!on_visit(rec)) return Status::Ok();
+    if (rec.depth >= options.max_depth) continue;
+
+    auto enqueue = [&](Direction dir) {
+      Status inner;
+      Status scan = store.ForEachEdge(
+          rec.node, dir, [&](const Edge& edge) {
+            if (!PassesFilter(options.edge_filter, edge)) return true;
+            NodeId next = dir == Direction::kOut ? edge.dst : edge.src;
+            if (seen.insert(next).second) {
+              queue.push_back(
+                  VisitRecord{next, rec.depth + 1, edge.id, rec.node});
+            }
+            return true;
+          });
+      return scan.ok() ? inner : scan;
+    };
+
+    if (expand_both) {
+      BP_RETURN_IF_ERROR(enqueue(Direction::kOut));
+      BP_RETURN_IF_ERROR(enqueue(Direction::kIn));
+    } else {
+      BP_RETURN_IF_ERROR(enqueue(options.direction));
+    }
+  }
+  if (!queue.empty()) *truncated = true;
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<TraversalResult> Bfs(const GraphStore& store, NodeId start,
+                            const TraversalOptions& options) {
+  TraversalResult result;
+  BP_RETURN_IF_ERROR(BfsCore(store, start, options, /*expand_both=*/false,
+                             &result.truncated,
+                             [&](const VisitRecord& rec) {
+                               result.visits.push_back(rec);
+                               return true;
+                             }));
+  return result;
+}
+
+Result<std::optional<VisitRecord>> FindFirst(
+    const GraphStore& store, NodeId start, const TraversalOptions& options,
+    const std::function<bool(const Node&)>& predicate) {
+  std::optional<VisitRecord> found;
+  Status inner;
+  bool truncated = false;
+  BP_RETURN_IF_ERROR(BfsCore(
+      store, start, options, /*expand_both=*/false, &truncated,
+      [&](const VisitRecord& rec) {
+        if (rec.node == start) return true;  // exclude the start itself
+        auto node = store.GetNode(rec.node);
+        if (!node.ok()) {
+          inner = node.status();
+          return false;
+        }
+        if (predicate(*node)) {
+          found = rec;
+          return false;
+        }
+        return true;
+      }));
+  BP_RETURN_IF_ERROR(inner);
+  return found;
+}
+
+Result<std::vector<NodeId>> ShortestPath(const GraphStore& store,
+                                         NodeId start, NodeId goal,
+                                         const TraversalOptions& options) {
+  TraversalResult result;
+  bool reached = false;
+  BP_RETURN_IF_ERROR(BfsCore(store, start, options, /*expand_both=*/false,
+                             &result.truncated,
+                             [&](const VisitRecord& rec) {
+                               result.visits.push_back(rec);
+                               if (rec.node == goal) {
+                                 reached = true;
+                                 return false;
+                               }
+                               return true;
+                             }));
+  if (!reached) return std::vector<NodeId>{};
+  return result.PathTo(goal);
+}
+
+Result<Subgraph> BuildNeighborhood(const GraphStore& store,
+                                   const std::vector<NodeId>& seeds,
+                                   uint32_t max_depth, uint64_t max_nodes,
+                                   const EdgeFilter& filter,
+                                   QueryBudget* budget) {
+  Subgraph graph;
+  auto add_node = [&](NodeId id) -> uint32_t {
+    auto it = graph.index_of.find(id);
+    if (it != graph.index_of.end()) return it->second;
+    uint32_t index = static_cast<uint32_t>(graph.nodes.size());
+    graph.nodes.push_back(id);
+    graph.index_of.emplace(id, index);
+    graph.out.emplace_back();
+    graph.in.emplace_back();
+    return index;
+  };
+
+  // Multi-source BFS over undirected connectivity.
+  std::deque<std::pair<NodeId, uint32_t>> queue;
+  std::unordered_set<NodeId> seen;
+  for (NodeId seed : seeds) {
+    BP_ASSIGN_OR_RETURN(bool exists, store.HasNode(seed));
+    if (!exists) continue;
+    if (seen.insert(seed).second) {
+      add_node(seed);
+      queue.push_back({seed, 0});
+    }
+  }
+
+  while (!queue.empty()) {
+    auto [node, depth] = queue.front();
+    queue.pop_front();
+    if (budget != nullptr && !budget->Charge()) {
+      graph.truncated = true;
+      break;
+    }
+    if (depth >= max_depth) continue;
+
+    for (Direction dir : {Direction::kOut, Direction::kIn}) {
+      Status scan = store.ForEachEdge(node, dir, [&](const Edge& edge) {
+        if (!PassesFilter(filter, edge)) return true;
+        NodeId next = dir == Direction::kOut ? edge.dst : edge.src;
+        if (seen.count(next) == 0) {
+          if (graph.nodes.size() >= max_nodes) {
+            graph.truncated = true;
+            return true;  // keep scanning for edges among known nodes
+          }
+          seen.insert(next);
+          add_node(next);
+          queue.push_back({next, depth + 1});
+        }
+        return true;
+      });
+      BP_RETURN_IF_ERROR(scan);
+    }
+  }
+
+  // Second pass: record directed adjacency among included nodes only.
+  // (Done separately so edges to nodes admitted later are not missed.)
+  for (uint32_t i = 0; i < graph.nodes.size(); ++i) {
+    Status scan = store.ForEachEdge(
+        graph.nodes[i], Direction::kOut, [&](const Edge& edge) {
+          if (!PassesFilter(filter, edge)) return true;
+          auto it = graph.index_of.find(edge.dst);
+          if (it == graph.index_of.end()) return true;
+          graph.out[i].push_back(it->second);
+          graph.in[it->second].push_back(i);
+          return true;
+        });
+    BP_RETURN_IF_ERROR(scan);
+  }
+  return graph;
+}
+
+HitsScores Hits(const Subgraph& graph, int max_iterations, double epsilon) {
+  const size_t n = graph.size();
+  HitsScores scores;
+  scores.hub.assign(n, 1.0);
+  scores.authority.assign(n, 1.0);
+  if (n == 0) return scores;
+
+  std::vector<double> new_auth(n), new_hub(n);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    // authority(v) = sum of hub(u) over in-neighbors u.
+    for (size_t v = 0; v < n; ++v) {
+      double sum = 0;
+      for (uint32_t u : graph.in[v]) sum += scores.hub[u];
+      new_auth[v] = sum;
+    }
+    // hub(u) = sum of authority(v) over out-neighbors v.
+    for (size_t u = 0; u < n; ++u) {
+      double sum = 0;
+      for (uint32_t v : graph.out[u]) sum += new_auth[v];
+      new_hub[u] = sum;
+    }
+    auto normalize = [n](std::vector<double>& v) {
+      double norm = 0;
+      for (double x : v) norm += x * x;
+      norm = std::sqrt(norm);
+      if (norm > 0) {
+        for (double& x : v) x /= norm;
+      }
+    };
+    normalize(new_auth);
+    normalize(new_hub);
+
+    double delta = 0;
+    for (size_t i = 0; i < n; ++i) {
+      delta += std::abs(new_auth[i] - scores.authority[i]) +
+               std::abs(new_hub[i] - scores.hub[i]);
+    }
+    scores.authority = new_auth;
+    scores.hub = new_hub;
+    scores.iterations = iter + 1;
+    if (delta < epsilon) break;
+  }
+  return scores;
+}
+
+std::vector<double> PersonalizedPageRank(const Subgraph& graph,
+                                         const std::vector<NodeId>& seeds,
+                                         double damping, int max_iterations,
+                                         double epsilon) {
+  const size_t n = graph.size();
+  std::vector<double> rank(n, 0.0);
+  if (n == 0) return rank;
+
+  std::vector<double> restart(n, 0.0);
+  size_t live_seeds = 0;
+  for (NodeId seed : seeds) {
+    auto it = graph.index_of.find(seed);
+    if (it != graph.index_of.end()) {
+      restart[it->second] += 1.0;
+      ++live_seeds;
+    }
+  }
+  if (live_seeds == 0) {
+    // No seed in the subgraph: fall back to uniform restart.
+    std::fill(restart.begin(), restart.end(), 1.0 / n);
+  } else {
+    for (double& r : restart) r /= static_cast<double>(live_seeds);
+  }
+
+  rank = restart;
+  std::vector<double> next(n);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    double dangling = 0;
+    for (size_t u = 0; u < n; ++u) {
+      if (graph.out[u].empty()) dangling += rank[u];
+    }
+    for (size_t v = 0; v < n; ++v) {
+      next[v] = (1.0 - damping) * restart[v] + damping * dangling * restart[v];
+    }
+    for (size_t u = 0; u < n; ++u) {
+      if (graph.out[u].empty()) continue;
+      double share = damping * rank[u] / graph.out[u].size();
+      for (uint32_t v : graph.out[u]) next[v] += share;
+    }
+    double delta = 0;
+    for (size_t i = 0; i < n; ++i) delta += std::abs(next[i] - rank[i]);
+    rank.swap(next);
+    if (delta < epsilon) break;
+  }
+  return rank;
+}
+
+Result<std::unordered_map<NodeId, double>> ExpandWithDecay(
+    const GraphStore& store,
+    const std::vector<std::pair<NodeId, double>>& weighted_seeds,
+    uint32_t max_depth, double decay, const EdgeFilter& filter,
+    QueryBudget* budget, bool* truncated) {
+  BP_REQUIRE(decay > 0.0 && decay <= 1.0, "decay must be in (0, 1]");
+  std::unordered_map<NodeId, double> weights;
+  if (truncated != nullptr) *truncated = false;
+
+  // Per-seed BFS: a node's contribution from one seed uses its shortest
+  // hop distance to that seed; contributions from distinct seeds add.
+  for (const auto& [seed, seed_weight] : weighted_seeds) {
+    BP_ASSIGN_OR_RETURN(bool exists, store.HasNode(seed));
+    if (!exists) continue;
+    std::unordered_set<NodeId> seen{seed};
+    std::deque<std::pair<NodeId, uint32_t>> queue{{seed, 0}};
+    while (!queue.empty()) {
+      auto [node, depth] = queue.front();
+      queue.pop_front();
+      if (budget != nullptr && !budget->Charge()) {
+        if (truncated != nullptr) *truncated = true;
+        break;
+      }
+      weights[node] += seed_weight * std::pow(decay, depth);
+      if (depth >= max_depth) continue;
+      for (Direction dir : {Direction::kOut, Direction::kIn}) {
+        Status scan = store.ForEachEdge(node, dir, [&](const Edge& edge) {
+          if (!PassesFilter(filter, edge)) return true;
+          NodeId next = dir == Direction::kOut ? edge.dst : edge.src;
+          if (seen.insert(next).second) {
+            queue.push_back({next, depth + 1});
+          }
+          return true;
+        });
+        BP_RETURN_IF_ERROR(scan);
+      }
+    }
+  }
+  return weights;
+}
+
+Result<bool> WouldCreateCycle(const GraphStore& store, NodeId src,
+                              NodeId dst, const EdgeFilter& filter) {
+  if (src == dst) return true;  // self loop
+  BP_ASSIGN_OR_RETURN(bool exists, store.HasNode(dst));
+  if (!exists) return false;
+  TraversalOptions options;
+  options.direction = Direction::kOut;
+  options.edge_filter = filter;
+  bool reachable = false;
+  bool truncated = false;
+  BP_RETURN_IF_ERROR(BfsCore(store, dst, options, /*expand_both=*/false,
+                             &truncated, [&](const VisitRecord& rec) {
+                               if (rec.node == src) {
+                                 reachable = true;
+                                 return false;
+                               }
+                               return true;
+                             }));
+  return reachable;
+}
+
+Result<bool> IsAcyclic(const GraphStore& store, const EdgeFilter& filter) {
+  // Kahn's algorithm on the filtered edge view.
+  std::unordered_map<NodeId, uint64_t> in_degree;
+  BP_RETURN_IF_ERROR(store.ForEachNode([&](const Node& node) {
+    in_degree.emplace(node.id, 0);
+    return true;
+  }));
+  uint64_t edge_count = 0;
+  BP_RETURN_IF_ERROR(store.ForEachEdge([&](const Edge& edge) {
+    if (!PassesFilter(filter, edge)) return true;
+    ++in_degree[edge.dst];
+    ++edge_count;
+    return true;
+  }));
+
+  std::deque<NodeId> ready;
+  for (const auto& [node, deg] : in_degree) {
+    if (deg == 0) ready.push_back(node);
+  }
+  uint64_t removed = 0;
+  while (!ready.empty()) {
+    NodeId node = ready.front();
+    ready.pop_front();
+    ++removed;
+    Status scan =
+        store.ForEachEdge(node, Direction::kOut, [&](const Edge& edge) {
+          if (!PassesFilter(filter, edge)) return true;
+          if (--in_degree[edge.dst] == 0) ready.push_back(edge.dst);
+          return true;
+        });
+    BP_RETURN_IF_ERROR(scan);
+  }
+  return removed == in_degree.size();
+}
+
+}  // namespace bp::graph

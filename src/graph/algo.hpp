@@ -1,0 +1,154 @@
+// Graph algorithms over GraphStore.
+//
+// Section 3 of the paper observes that although browser history is a
+// graph, "there are no graph algorithms applied to the history in any
+// modern browser", and Section 4 implements the use cases with exactly
+// these primitives: breadth-first ancestor/descendant traversal (download
+// lineage), neighborhood expansion "similar to web search algorithms such
+// as Kleinberg's HITS" (contextual history search), and predicate path
+// queries ("find the first ancestor of this file that the user is likely
+// to recognize").
+//
+// Every traversal accepts a QueryBudget, making it an anytime algorithm:
+// on budget exhaustion it stops expanding and reports truncated=true with
+// best-so-far results — the mechanism behind the paper's "queries ...
+// can be bound to that time" claim.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/store.hpp"
+#include "util/budget.hpp"
+#include "util/status.hpp"
+
+namespace bp::graph {
+
+// Filter deciding which edges a traversal may cross. Default: all.
+using EdgeFilter = std::function<bool(const Edge&)>;
+
+struct TraversalOptions {
+  Direction direction = Direction::kOut;
+  // Maximum hops from the start node (0 = just the start).
+  uint32_t max_depth = UINT32_MAX;
+  // Stop after visiting this many nodes (start included).
+  uint64_t max_nodes = UINT64_MAX;
+  EdgeFilter edge_filter;  // empty = accept all
+  util::QueryBudget* budget = nullptr;  // optional; not owned
+};
+
+struct VisitRecord {
+  NodeId node = 0;
+  uint32_t depth = 0;
+  // Edge and node through which `node` was first reached (0 for start).
+  EdgeId via_edge = 0;
+  NodeId via_node = 0;
+};
+
+struct TraversalResult {
+  std::vector<VisitRecord> visits;  // BFS order; visits[0] is the start
+  bool truncated = false;           // budget/max_nodes stopped expansion
+
+  // Reconstructs the path start -> ... -> node (node ids), or empty when
+  // `node` was not visited.
+  std::vector<NodeId> PathTo(NodeId node) const;
+};
+
+// Breadth-first traversal from `start` following `direction` edges.
+// Direction::kIn walks ancestors (provenance lineage), kOut descendants.
+util::Result<TraversalResult> Bfs(const GraphStore& store, NodeId start,
+                                  const TraversalOptions& options);
+
+// First node (nearest by hop count, excluding the start) satisfying
+// `predicate`, or nullopt if none reachable within the options' bounds.
+// This is the paper's "first recognizable ancestor" path query.
+util::Result<std::optional<VisitRecord>> FindFirst(
+    const GraphStore& store, NodeId start, const TraversalOptions& options,
+    const std::function<bool(const Node&)>& predicate);
+
+// Shortest path start -> goal (in hops, respecting direction/filter);
+// empty vector when unreachable.
+util::Result<std::vector<NodeId>> ShortestPath(
+    const GraphStore& store, NodeId start, NodeId goal,
+    const TraversalOptions& options);
+
+// ------------------------------------------------------------ subgraph
+
+// An in-memory snapshot of a neighborhood, on which iterative algorithms
+// (HITS, PageRank) run without touching the store per iteration.
+struct Subgraph {
+  std::vector<NodeId> nodes;                       // index -> node id
+  std::unordered_map<NodeId, uint32_t> index_of;   // node id -> index
+  // Adjacency by local index; parallel edges preserved.
+  std::vector<std::vector<uint32_t>> out;
+  std::vector<std::vector<uint32_t>> in;
+  bool truncated = false;
+
+  size_t size() const { return nodes.size(); }
+  bool Contains(NodeId id) const { return index_of.count(id) > 0; }
+};
+
+// Materializes the union of bounded-depth neighborhoods around `seeds`,
+// following edges in BOTH directions (context spreads along links
+// regardless of orientation), but recording orientation in the adjacency
+// lists. The edge filter applies to inclusion.
+util::Result<Subgraph> BuildNeighborhood(const GraphStore& store,
+                                         const std::vector<NodeId>& seeds,
+                                         uint32_t max_depth,
+                                         uint64_t max_nodes,
+                                         const EdgeFilter& filter = {},
+                                         util::QueryBudget* budget = nullptr);
+
+// --------------------------------------------------------- iterative
+
+struct HitsScores {
+  // Parallel to Subgraph::nodes.
+  std::vector<double> hub;
+  std::vector<double> authority;
+  int iterations = 0;
+};
+
+// Kleinberg's HITS on a materialized subgraph. Converges when the L1
+// change drops below `epsilon` or after `max_iterations`.
+HitsScores Hits(const Subgraph& graph, int max_iterations = 50,
+                double epsilon = 1e-9);
+
+// Personalized PageRank with restart distribution concentrated on
+// `seeds` (uniform over them). Treats edges as directed (out links).
+// Dangling mass is redistributed to the restart vector.
+std::vector<double> PersonalizedPageRank(const Subgraph& graph,
+                                         const std::vector<NodeId>& seeds,
+                                         double damping = 0.85,
+                                         int max_iterations = 60,
+                                         double epsilon = 1e-10);
+
+// ------------------------------------------------- neighborhood weights
+
+// Decay-weighted neighborhood expansion: every node reachable from a
+// seed within `max_depth` (either direction) receives
+// sum over seeds of (decay ^ hop distance). This is the Shah-style
+// relevance spreading used by contextual history search (use case 2.1).
+util::Result<std::unordered_map<NodeId, double>> ExpandWithDecay(
+    const GraphStore& store, const std::vector<std::pair<NodeId, double>>&
+        weighted_seeds,
+    uint32_t max_depth, double decay, const EdgeFilter& filter = {},
+    util::QueryBudget* budget = nullptr, bool* truncated = nullptr);
+
+// --------------------------------------------------------------- cycles
+
+// True when adding edge src->dst would close a directed cycle (i.e. src
+// is reachable FROM dst via out-edges). Used by the provenance layer's
+// DAG maintenance.
+util::Result<bool> WouldCreateCycle(const GraphStore& store, NodeId src,
+                                    NodeId dst,
+                                    const EdgeFilter& filter = {});
+
+// Full-graph acyclicity check (Kahn's algorithm over an edge-filtered
+// view); intended for tests and integrity audits.
+util::Result<bool> IsAcyclic(const GraphStore& store,
+                             const EdgeFilter& filter = {});
+
+}  // namespace bp::graph

@@ -1,0 +1,164 @@
+#include "graph/attr.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+namespace bp::graph {
+
+using util::Reader;
+using util::Result;
+using util::Status;
+using util::Writer;
+
+namespace {
+
+constexpr uint8_t kTagInt = 0;
+constexpr uint8_t kTagDouble = 1;
+constexpr uint8_t kTagBool = 2;
+constexpr uint8_t kTagString = 3;
+
+// Attribute keys recur on every node/edge, so well-known keys encode as a
+// single byte (schema keys from prov/schema.hpp plus common generics).
+// Appending to this list is a compatible change; reordering is not.
+constexpr std::string_view kWellKnownKeys[] = {
+    "url",   "title", "visit_count", "open",      "close",
+    "tab",   "transition", "time",   "query",     "use_count",
+    "added", "target",     "summary"};
+
+int WellKnownIndex(std::string_view key) {
+  for (size_t i = 0; i < std::size(kWellKnownKeys); ++i) {
+    if (kWellKnownKeys[i] == key) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+void AttrMap::Set(std::string_view key, AttrValue value) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const auto& entry, std::string_view k) { return entry.first < k; });
+  if (it != entries_.end() && it->first == key) {
+    it->second = std::move(value);
+  } else {
+    entries_.insert(it, {std::string(key), std::move(value)});
+  }
+}
+
+const AttrValue* AttrMap::Find(std::string_view key) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const auto& entry, std::string_view k) { return entry.first < k; });
+  if (it != entries_.end() && it->first == key) return &it->second;
+  return nullptr;
+}
+
+std::optional<int64_t> AttrMap::GetInt(std::string_view key) const {
+  const AttrValue* v = Find(key);
+  if (v == nullptr) return std::nullopt;
+  if (const int64_t* i = std::get_if<int64_t>(v)) return *i;
+  return std::nullopt;
+}
+
+std::optional<double> AttrMap::GetDouble(std::string_view key) const {
+  const AttrValue* v = Find(key);
+  if (v == nullptr) return std::nullopt;
+  if (const double* d = std::get_if<double>(v)) return *d;
+  // Int attributes are usable where doubles are expected.
+  if (const int64_t* i = std::get_if<int64_t>(v)) {
+    return static_cast<double>(*i);
+  }
+  return std::nullopt;
+}
+
+std::optional<bool> AttrMap::GetBool(std::string_view key) const {
+  const AttrValue* v = Find(key);
+  if (v == nullptr) return std::nullopt;
+  if (const bool* b = std::get_if<bool>(v)) return *b;
+  return std::nullopt;
+}
+
+std::optional<std::string_view> AttrMap::GetString(
+    std::string_view key) const {
+  const AttrValue* v = Find(key);
+  if (v == nullptr) return std::nullopt;
+  if (const std::string* s = std::get_if<std::string>(v)) {
+    return std::string_view(*s);
+  }
+  return std::nullopt;
+}
+
+bool AttrMap::Remove(std::string_view key) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const auto& entry, std::string_view k) { return entry.first < k; });
+  if (it != entries_.end() && it->first == key) {
+    entries_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+void AttrMap::Encode(Writer& w) const {
+  w.PutVarint64(entries_.size());
+  for (const auto& [key, value] : entries_) {
+    // Key: 0 = explicit string follows; n > 0 = well-known key n-1.
+    int wk = WellKnownIndex(key);
+    if (wk >= 0) {
+      w.PutVarint64(static_cast<uint64_t>(wk) + 1);
+    } else {
+      w.PutVarint64(0);
+      w.PutString(key);
+    }
+    if (const int64_t* i = std::get_if<int64_t>(&value)) {
+      w.PutU8(kTagInt);
+      w.PutSignedVarint64(*i);
+    } else if (const double* d = std::get_if<double>(&value)) {
+      w.PutU8(kTagDouble);
+      w.PutDouble(*d);
+    } else if (const bool* b = std::get_if<bool>(&value)) {
+      w.PutU8(kTagBool);
+      w.PutU8(*b ? 1 : 0);
+    } else {
+      w.PutU8(kTagString);
+      w.PutString(std::get<std::string>(value));
+    }
+  }
+}
+
+Result<AttrMap> AttrMap::Decode(Reader& r) {
+  AttrMap map;
+  uint64_t n = r.ReadVarint64();
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t key_code = r.ReadVarint64();
+    std::string key;
+    if (key_code == 0) {
+      key = std::string(r.ReadString());
+    } else if (key_code <= std::size(kWellKnownKeys)) {
+      key = std::string(kWellKnownKeys[key_code - 1]);
+    } else {
+      return Status::Corruption("unknown well-known attribute key");
+    }
+    uint8_t tag = r.ReadU8();
+    switch (tag) {
+      case kTagInt:
+        map.Set(key, AttrValue(r.ReadSignedVarint64()));
+        break;
+      case kTagDouble:
+        map.Set(key, AttrValue(r.ReadDouble()));
+        break;
+      case kTagBool:
+        map.Set(key, AttrValue(r.ReadU8() != 0));
+        break;
+      case kTagString:
+        map.Set(key, AttrValue(std::string(r.ReadString())));
+        break;
+      default:
+        return Status::Corruption("unknown attribute tag");
+    }
+    if (!r.ok()) return Status::Corruption("truncated attribute map");
+  }
+  return map;
+}
+
+}  // namespace bp::graph

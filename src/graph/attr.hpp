@@ -1,0 +1,73 @@
+// Typed attributes on graph nodes and edges.
+//
+// The paper's unified provenance store keeps heterogeneous objects (page
+// visits, bookmarks, downloads, search terms) as homogeneous graph nodes
+// distinguished only by kind and attributes, so the attribute system is
+// what carries each object's schema.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/serde.hpp"
+#include "util/status.hpp"
+
+namespace bp::graph {
+
+using AttrValue = std::variant<int64_t, double, bool, std::string>;
+
+// Small ordered attribute map. Insertion keeps keys sorted so encodings
+// are canonical (equal maps encode to equal bytes).
+class AttrMap {
+ public:
+  AttrMap() = default;
+
+  void Set(std::string_view key, AttrValue value);
+  void SetInt(std::string_view key, int64_t v) { Set(key, AttrValue(v)); }
+  void SetDouble(std::string_view key, double v) { Set(key, AttrValue(v)); }
+  void SetBool(std::string_view key, bool v) { Set(key, AttrValue(v)); }
+  void SetString(std::string_view key, std::string v) {
+    Set(key, AttrValue(std::move(v)));
+  }
+
+  const AttrValue* Find(std::string_view key) const;
+  std::optional<int64_t> GetInt(std::string_view key) const;
+  std::optional<double> GetDouble(std::string_view key) const;
+  std::optional<bool> GetBool(std::string_view key) const;
+  std::optional<std::string_view> GetString(std::string_view key) const;
+
+  // Returns the value or `fallback` when absent / of a different type.
+  int64_t IntOr(std::string_view key, int64_t fallback) const {
+    return GetInt(key).value_or(fallback);
+  }
+  std::string_view StringOr(std::string_view key,
+                            std::string_view fallback) const {
+    auto v = GetString(key);
+    return v.has_value() ? *v : fallback;
+  }
+
+  bool Remove(std::string_view key);
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  const std::vector<std::pair<std::string, AttrValue>>& entries() const {
+    return entries_;
+  }
+
+  void Encode(util::Writer& w) const;
+  static util::Result<AttrMap> Decode(util::Reader& r);
+
+  friend bool operator==(const AttrMap& a, const AttrMap& b) {
+    return a.entries_ == b.entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, AttrValue>> entries_;
+};
+
+}  // namespace bp::graph

@@ -1,0 +1,116 @@
+#include "graph/interval_index.hpp"
+
+#include <algorithm>
+
+namespace bp::graph {
+
+using util::TimeMs;
+using util::TimeSpan;
+
+void IntervalIndex::Build(std::vector<Entry> entries) {
+  entries_ = std::move(entries);
+  std::vector<uint32_t> items(entries_.size());
+  for (uint32_t i = 0; i < items.size(); ++i) items[i] = i;
+  root_ = items.empty() ? nullptr : BuildNode(std::move(items));
+}
+
+std::unique_ptr<IntervalIndex::Node> IntervalIndex::BuildNode(
+    std::vector<uint32_t> items) {
+  if (items.empty()) return nullptr;
+  auto node = std::make_unique<Node>();
+
+  // Center on the median interval midpoint for balance. kTimeMax closes
+  // (still-open visits) would skew midpoints, so clamp them to the open
+  // endpoint for centering purposes only.
+  std::vector<TimeMs> mids;
+  mids.reserve(items.size());
+  for (uint32_t i : items) {
+    const TimeSpan& s = entries_[i].span;
+    TimeMs close = s.close == util::kTimeMax ? s.open : s.close;
+    mids.push_back(s.open + (close - s.open) / 2);
+  }
+  std::nth_element(mids.begin(), mids.begin() + mids.size() / 2, mids.end());
+  node->center = mids[mids.size() / 2];
+
+  std::vector<uint32_t> left_items;
+  std::vector<uint32_t> right_items;
+  for (uint32_t i : items) {
+    const TimeSpan& s = entries_[i].span;
+    if (s.close != util::kTimeMax && s.close <= node->center) {
+      // Entirely left of center (half-open: close <= center misses it).
+      left_items.push_back(i);
+    } else if (s.open > node->center) {
+      right_items.push_back(i);
+    } else {
+      node->by_open.push_back(i);
+    }
+  }
+
+  // Degenerate guard: if everything landed on one side (possible with
+  // pathological data), keep them at this node to guarantee progress.
+  if (node->by_open.empty() &&
+      (left_items.empty() || right_items.empty())) {
+    node->by_open = left_items.empty() ? std::move(right_items)
+                                       : std::move(left_items);
+    left_items.clear();
+    right_items.clear();
+  }
+
+  node->by_close = node->by_open;
+  std::sort(node->by_open.begin(), node->by_open.end(),
+            [this](uint32_t a, uint32_t b) {
+              return entries_[a].span.open < entries_[b].span.open;
+            });
+  std::sort(node->by_close.begin(), node->by_close.end(),
+            [this](uint32_t a, uint32_t b) {
+              return entries_[a].span.close > entries_[b].span.close;
+            });
+
+  node->left = BuildNode(std::move(left_items));
+  node->right = BuildNode(std::move(right_items));
+  return node;
+}
+
+std::vector<uint64_t> IntervalIndex::Overlapping(TimeSpan query) const {
+  std::vector<uint64_t> out;
+  if (query.open < query.close) Query(root_.get(), query, &out);
+  return out;
+}
+
+void IntervalIndex::Query(const Node* node, TimeSpan query,
+                          std::vector<uint64_t>* out) const {
+  if (node == nullptr) return;
+
+  if (query.open <= node->center && node->center < query.close) {
+    // The query straddles the center: every entry here overlaps.
+    for (uint32_t i : node->by_open) out->push_back(entries_[i].payload);
+    Query(node->left.get(), query, out);
+    Query(node->right.get(), query, out);
+    return;
+  }
+
+  if (query.close <= node->center) {
+    // Query lies left of center: an entry here overlaps iff it opens
+    // before the query closes (all entries span the center, to the right
+    // of the query's end).
+    for (uint32_t i : node->by_open) {
+      if (entries_[i].span.open >= query.close) break;
+      if (entries_[i].span.Overlaps(query)) {
+        out->push_back(entries_[i].payload);
+      }
+    }
+    Query(node->left.get(), query, out);
+  } else {
+    // Query lies right of center: an entry overlaps iff it closes after
+    // the query opens.
+    for (uint32_t i : node->by_close) {
+      if (entries_[i].span.close <= query.open) break;
+      if (entries_[i].span.Overlaps(query)) {
+        out->push_back(entries_[i].payload);
+      }
+    }
+    Query(node->right.get(), query, out);
+  }
+}
+
+}  // namespace bp::graph

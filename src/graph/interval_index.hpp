@@ -1,0 +1,67 @@
+// IntervalIndex: static interval tree over [open, close) time spans.
+//
+// Section 3.2: "most browsers do not capture the time relationship
+// between pages that are open simultaneously ... The simple addition of a
+// corresponding close to each page visit enables queries on time
+// relationships." The provenance schema stores open/close times on visit
+// nodes; this index answers "which visits were open during [a, b)" and
+// "which visits overlap visit X" — the primitive behind time-contextual
+// history search (use case 2.3).
+//
+// Build once over the visit set (O(n log n)), query in O(log n + k).
+// Entries still open use close == util::kTimeMax.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace bp::graph {
+
+class IntervalIndex {
+ public:
+  struct Entry {
+    util::TimeSpan span;
+    uint64_t payload = 0;  // caller-defined (e.g. visit node id)
+  };
+
+  IntervalIndex() = default;
+  explicit IntervalIndex(std::vector<Entry> entries) { Build(std::move(entries)); }
+
+  // Replaces the index contents.
+  void Build(std::vector<Entry> entries);
+
+  // Payloads of all entries whose span overlaps `query` (half-open
+  // semantics), in unspecified order.
+  std::vector<uint64_t> Overlapping(util::TimeSpan query) const;
+
+  // Payloads of entries containing time t.
+  std::vector<uint64_t> At(util::TimeMs t) const {
+    return Overlapping(util::TimeSpan{t, t + 1});
+  }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  struct Node {
+    util::TimeMs center = 0;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+    // Entries crossing `center`, sorted by open ascending and (separately)
+    // by close descending; indexes into entries_.
+    std::vector<uint32_t> by_open;
+    std::vector<uint32_t> by_close;
+  };
+
+  std::unique_ptr<Node> BuildNode(std::vector<uint32_t> items);
+  void Query(const Node* node, util::TimeSpan query,
+             std::vector<uint64_t>* out) const;
+
+  std::vector<Entry> entries_;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace bp::graph

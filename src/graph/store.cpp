@@ -1,0 +1,196 @@
+#include "graph/store.hpp"
+
+#include "storage/pager.hpp"
+#include "util/require.hpp"
+#include "util/serde.hpp"
+
+namespace bp::storage {
+
+// Row codecs live in bp::storage so Table<Row> finds them.
+template <>
+struct RowCodec<graph::GraphStore::NodeRec> {
+  static void Encode(const graph::GraphStore::NodeRec& row,
+                     util::Writer& w) {
+    w.PutVarint64(row.kind);
+    row.attrs.Encode(w);
+  }
+  static util::Result<graph::GraphStore::NodeRec> Decode(util::Reader& r) {
+    graph::GraphStore::NodeRec row;
+    row.kind = static_cast<uint32_t>(r.ReadVarint64());
+    BP_ASSIGN_OR_RETURN(row.attrs, graph::AttrMap::Decode(r));
+    return row;
+  }
+};
+
+template <>
+struct RowCodec<graph::GraphStore::EdgeRec> {
+  static void Encode(const graph::GraphStore::EdgeRec& row,
+                     util::Writer& w) {
+    w.PutVarint64(row.src);
+    w.PutVarint64(row.dst);
+    w.PutVarint64(row.kind);
+    row.attrs.Encode(w);
+  }
+  static util::Result<graph::GraphStore::EdgeRec> Decode(util::Reader& r) {
+    graph::GraphStore::EdgeRec row;
+    row.src = r.ReadVarint64();
+    row.dst = r.ReadVarint64();
+    row.kind = static_cast<uint32_t>(r.ReadVarint64());
+    BP_ASSIGN_OR_RETURN(row.attrs, graph::AttrMap::Decode(r));
+    return row;
+  }
+};
+
+}  // namespace bp::storage
+
+namespace bp::graph {
+
+using storage::AutoTxn;
+using storage::Table;
+using util::OrderedKeyU64Pair;
+using util::Result;
+using util::Status;
+
+Result<std::unique_ptr<GraphStore>> GraphStore::Open(storage::Db& db,
+                                                     std::string ns) {
+  std::unique_ptr<GraphStore> store(new GraphStore(db, std::move(ns)));
+  BP_ASSIGN_OR_RETURN(store->nodes_tree_,
+                      db.OpenOrCreateTree(store->ns_ + ".nodes"));
+  BP_ASSIGN_OR_RETURN(store->edges_tree_,
+                      db.OpenOrCreateTree(store->ns_ + ".edges"));
+  BP_ASSIGN_OR_RETURN(store->out_tree_,
+                      db.OpenOrCreateTree(store->ns_ + ".out"));
+  BP_ASSIGN_OR_RETURN(store->in_tree_,
+                      db.OpenOrCreateTree(store->ns_ + ".in"));
+  return store;
+}
+
+Result<NodeId> GraphStore::AddNode(uint32_t kind, AttrMap attrs) {
+  Table<NodeRec> nodes(nodes_tree_);
+  return nodes.Insert(NodeRec{kind, std::move(attrs)});
+}
+
+Result<Node> GraphStore::GetNode(NodeId id) const {
+  Table<NodeRec> nodes(nodes_tree_);
+  BP_ASSIGN_OR_RETURN(NodeRec rec, nodes.Get(id));
+  return Node{id, rec.kind, std::move(rec.attrs)};
+}
+
+Status GraphStore::PutNode(const Node& node) {
+  Table<NodeRec> nodes(nodes_tree_);
+  BP_ASSIGN_OR_RETURN(bool exists, nodes.Contains(node.id));
+  if (!exists) {
+    return Status::NotFound("PutNode: no such node");
+  }
+  return nodes.Put(node.id, NodeRec{node.kind, node.attrs});
+}
+
+Result<bool> GraphStore::HasNode(NodeId id) const {
+  Table<NodeRec> nodes(nodes_tree_);
+  return nodes.Contains(id);
+}
+
+Result<EdgeId> GraphStore::AddEdge(NodeId src, NodeId dst, uint32_t kind,
+                                   AttrMap attrs) {
+  BP_ASSIGN_OR_RETURN(bool has_src, HasNode(src));
+  BP_ASSIGN_OR_RETURN(bool has_dst, HasNode(dst));
+  if (!has_src || !has_dst) {
+    return Status::FailedPrecondition("AddEdge: endpoint does not exist");
+  }
+  AutoTxn txn(db_.pager());
+  Table<EdgeRec> edges(edges_tree_);
+  BP_ASSIGN_OR_RETURN(EdgeId id,
+                      edges.Insert(EdgeRec{src, dst, kind, std::move(attrs)}));
+  BP_RETURN_IF_ERROR(out_tree_->Put(OrderedKeyU64Pair(src, id), {}));
+  BP_RETURN_IF_ERROR(in_tree_->Put(OrderedKeyU64Pair(dst, id), {}));
+  BP_RETURN_IF_ERROR(txn.Commit());
+  return id;
+}
+
+Result<Edge> GraphStore::GetEdge(EdgeId id) const {
+  Table<EdgeRec> edges(edges_tree_);
+  BP_ASSIGN_OR_RETURN(EdgeRec rec, edges.Get(id));
+  return Edge{id, rec.src, rec.dst, rec.kind, std::move(rec.attrs)};
+}
+
+Status GraphStore::PutEdge(const Edge& edge) {
+  Table<EdgeRec> edges(edges_tree_);
+  BP_ASSIGN_OR_RETURN(EdgeRec old, edges.Get(edge.id));
+  BP_REQUIRE(old.src == edge.src && old.dst == edge.dst,
+             "PutEdge cannot rewire endpoints; delete and re-add");
+  return edges.Put(edge.id, EdgeRec{edge.src, edge.dst, edge.kind,
+                                    edge.attrs});
+}
+
+Status GraphStore::DeleteEdge(EdgeId id) {
+  Table<EdgeRec> edges(edges_tree_);
+  BP_ASSIGN_OR_RETURN(EdgeRec rec, edges.Get(id));
+  AutoTxn txn(db_.pager());
+  BP_RETURN_IF_ERROR(out_tree_->Delete(OrderedKeyU64Pair(rec.src, id)));
+  BP_RETURN_IF_ERROR(in_tree_->Delete(OrderedKeyU64Pair(rec.dst, id)));
+  BP_RETURN_IF_ERROR(edges.Delete(id));
+  return txn.Commit();
+}
+
+Status GraphStore::ForEachEdge(
+    NodeId node, Direction dir,
+    const std::function<bool(const Edge&)>& fn) const {
+  storage::BTree* tree = dir == Direction::kOut ? out_tree_ : in_tree_;
+  std::string lo = OrderedKeyU64Pair(node, 0);
+  std::string hi =
+      node == UINT64_MAX ? std::string{} : OrderedKeyU64Pair(node + 1, 0);
+  Status inner;
+  BP_RETURN_IF_ERROR(tree->ForEachRange(
+      lo, hi, [&](std::string_view key, std::string_view) {
+        EdgeId edge_id = util::DecodeOrderedKeyU64(key.substr(8));
+        auto edge = GetEdge(edge_id);
+        if (!edge.ok()) {
+          inner = edge.status();
+          return false;
+        }
+        return fn(*edge);
+      }));
+  return inner;
+}
+
+Result<uint64_t> GraphStore::Degree(NodeId node, Direction dir) const {
+  storage::BTree* tree = dir == Direction::kOut ? out_tree_ : in_tree_;
+  std::string lo = OrderedKeyU64Pair(node, 0);
+  std::string hi =
+      node == UINT64_MAX ? std::string{} : OrderedKeyU64Pair(node + 1, 0);
+  uint64_t n = 0;
+  BP_RETURN_IF_ERROR(
+      tree->ForEachRange(lo, hi, [&](std::string_view, std::string_view) {
+        ++n;
+        return true;
+      }));
+  return n;
+}
+
+Status GraphStore::ForEachNode(
+    const std::function<bool(const Node&)>& fn) const {
+  Table<NodeRec> nodes(nodes_tree_);
+  return nodes.ForEach([&](uint64_t id, const NodeRec& rec) {
+    return fn(Node{id, rec.kind, rec.attrs});
+  });
+}
+
+Status GraphStore::ForEachEdge(
+    const std::function<bool(const Edge&)>& fn) const {
+  Table<EdgeRec> edges(edges_tree_);
+  return edges.ForEach([&](uint64_t id, const EdgeRec& rec) {
+    return fn(Edge{id, rec.src, rec.dst, rec.kind, rec.attrs});
+  });
+}
+
+Result<uint64_t> GraphStore::NodeCount() const {
+  Table<NodeRec> nodes(nodes_tree_);
+  return nodes.Count();
+}
+
+Result<uint64_t> GraphStore::EdgeCount() const {
+  Table<EdgeRec> edges(edges_tree_);
+  return edges.Count();
+}
+
+}  // namespace bp::graph

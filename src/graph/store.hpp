@@ -1,0 +1,108 @@
+// GraphStore: a persistent property graph over the storage engine.
+//
+// Nodes and edges are typed (integer `kind` plus an AttrMap) and both
+// directions of every edge are indexed, so ancestor queries (in-edges)
+// and descendant queries (out-edges) are symmetric — the capability the
+// paper's download-lineage use case depends on.
+//
+// Trees used (namespaced by `ns` so several graphs can share a Db and so
+// SpaceReport can attribute bytes per schema):
+//   <ns>.nodes : node id -> (kind, attrs)
+//   <ns>.edges : edge id -> (src, dst, kind, attrs)
+//   <ns>.out   : (src node id, edge id) -> ""   adjacency
+//   <ns>.in    : (dst node id, edge id) -> ""   reverse adjacency
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "graph/attr.hpp"
+#include "storage/db.hpp"
+#include "storage/table.hpp"
+#include "util/status.hpp"
+
+namespace bp::graph {
+
+using NodeId = uint64_t;
+using EdgeId = uint64_t;
+
+struct Node {
+  NodeId id = 0;
+  uint32_t kind = 0;
+  AttrMap attrs;
+};
+
+struct Edge {
+  EdgeId id = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+  uint32_t kind = 0;
+  AttrMap attrs;
+};
+
+enum class Direction { kOut, kIn };
+
+class GraphStore {
+ public:
+  // Opens (creating if needed) the graph named `ns` inside `db`. The Db
+  // must outlive the store.
+  static util::Result<std::unique_ptr<GraphStore>> Open(storage::Db& db,
+                                                        std::string ns);
+
+  util::Result<NodeId> AddNode(uint32_t kind, AttrMap attrs = {});
+  util::Result<Node> GetNode(NodeId id) const;
+  util::Status PutNode(const Node& node);  // updates kind/attrs in place
+  util::Result<bool> HasNode(NodeId id) const;
+
+  // Adds an edge; both endpoints must exist.
+  util::Result<EdgeId> AddEdge(NodeId src, NodeId dst, uint32_t kind,
+                               AttrMap attrs = {});
+  util::Result<Edge> GetEdge(EdgeId id) const;
+  util::Status PutEdge(const Edge& edge);  // kind/attrs only (not src/dst)
+  util::Status DeleteEdge(EdgeId id);
+
+  // Edges leaving (kOut) or entering (kIn) `node`, in edge-id order.
+  // `fn` returns false to stop early.
+  util::Status ForEachEdge(NodeId node, Direction dir,
+                           const std::function<bool(const Edge&)>& fn) const;
+
+  // Degree in the given direction (counts edges, not distinct neighbors).
+  util::Result<uint64_t> Degree(NodeId node, Direction dir) const;
+
+  util::Status ForEachNode(
+      const std::function<bool(const Node&)>& fn) const;
+  util::Status ForEachEdge(const std::function<bool(const Edge&)>& fn) const;
+
+  util::Result<uint64_t> NodeCount() const;
+  util::Result<uint64_t> EdgeCount() const;
+
+  storage::Db& db() { return db_; }
+  const std::string& ns() const { return ns_; }
+
+ private:
+  struct NodeRec {
+    uint32_t kind = 0;
+    AttrMap attrs;
+  };
+  struct EdgeRec {
+    NodeId src = 0;
+    NodeId dst = 0;
+    uint32_t kind = 0;
+    AttrMap attrs;
+  };
+  friend struct storage::RowCodec<NodeRec>;
+  friend struct storage::RowCodec<EdgeRec>;
+
+  GraphStore(storage::Db& db, std::string ns) : db_(db), ns_(std::move(ns)) {}
+
+  storage::Db& db_;
+  std::string ns_;
+  storage::BTree* nodes_tree_ = nullptr;
+  storage::BTree* edges_tree_ = nullptr;
+  storage::BTree* out_tree_ = nullptr;
+  storage::BTree* in_tree_ = nullptr;
+};
+
+}  // namespace bp::graph

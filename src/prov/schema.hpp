@@ -1,0 +1,108 @@
+// The unified browser-provenance schema (the paper's core contribution).
+//
+// Section 3.4: "Our idealized vision of browser metadata is a single,
+// homogeneous provenance graph store that describes and relates every
+// kind of history object." Every history object is a graph node; every
+// browser action that derives one object from another is an edge.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace bp::prov {
+
+enum class NodeKind : uint32_t {
+  kPage = 1,        // canonical page (one per URL); attrs: url, title,
+                    // visit_count. A sink: no outgoing edges.
+  kVisit = 2,       // one page-visit instance (node-versioning policy);
+                    // attrs: open, close, tab, transition.
+  kBookmark = 3,    // attrs: title, added.
+  kDownload = 4,    // attrs: url, target, time. A sink.
+  kSearchTerm = 5,  // canonical query string; attrs: query, use_count.
+                    // A sink (instances point to it).
+  kSearchIssue = 6, // one issuance of a search; attrs: time.
+  kFormSubmission = 7,  // attrs: summary, time.
+};
+
+enum class EdgeKind : uint32_t {
+  // Navigation actions (visit -> visit under node versioning;
+  // page -> page with a `time` attribute under edge timestamping).
+  kLink = 1,    // link click
+  kTyped = 2,   // location-bar typing — the relationship Places drops
+  kRedirect = 3,
+  kEmbed = 4,   // top-level page -> embedded content
+  kNewTab = 5,  // opened in a new tab from this page
+  kReload = 6,
+
+  // Identity / versioning.
+  kInstanceOf = 7,      // visit -> its canonical page
+  kTermInstanceOf = 8,  // search issuance -> canonical search term
+
+  // Search lineage (section 3.3: search terms are "concise, conceptual,
+  // user-generated descriptors that are in the lineage of the page they
+  // generate and that page's descendants").
+  kSearchIssue = 9,   // visit where the search was typed -> issuance
+  kSearchResult = 10, // issuance -> results-page visit
+
+  // Bookmarks as first-class provenance objects.
+  kBookmarkFrom = 11,  // visit where the bookmark was created -> bookmark
+  kBookmarkClick = 12, // bookmark -> visit it produced
+
+  // Downloads and forms.
+  kDownloadFrom = 13,  // visit -> download fetched from it
+  kFormFrom = 14,      // visit carrying the form -> submission
+  kFormResult = 15,    // submission -> resulting page visit
+};
+
+// Attribute keys (single source of truth for spelling).
+inline constexpr std::string_view kAttrUrl = "url";
+inline constexpr std::string_view kAttrTitle = "title";
+inline constexpr std::string_view kAttrVisitCount = "visit_count";
+inline constexpr std::string_view kAttrOpen = "open";
+inline constexpr std::string_view kAttrClose = "close";
+inline constexpr std::string_view kAttrTab = "tab";
+inline constexpr std::string_view kAttrTransition = "transition";
+inline constexpr std::string_view kAttrTime = "time";
+inline constexpr std::string_view kAttrQuery = "query";
+inline constexpr std::string_view kAttrUseCount = "use_count";
+inline constexpr std::string_view kAttrAdded = "added";
+inline constexpr std::string_view kAttrTarget = "target";
+inline constexpr std::string_view kAttrSummary = "summary";
+
+// Section 3.1: two cycle-breaking schemes for the versioned history
+// graph. kVersionNodes creates a new visit node per page view (PASS
+// style); kTimestampEdges keeps one node per page and versions the
+// *links*, "creating a traversal order among edges" — Firefox's own
+// choice, which the paper notes makes link queries and graph algorithms
+// harder. Both are implemented so the trade-off can be measured (E8).
+enum class VersionPolicy {
+  kVersionNodes,
+  kTimestampEdges,
+};
+
+// True for navigation-action edge kinds (the ones affected by policy).
+constexpr bool IsNavigationEdge(EdgeKind kind) {
+  switch (kind) {
+    case EdgeKind::kLink:
+    case EdgeKind::kTyped:
+    case EdgeKind::kRedirect:
+    case EdgeKind::kEmbed:
+    case EdgeKind::kNewTab:
+    case EdgeKind::kReload:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Section 3.2: redirects and inner content "are not generated as the
+// result of a user action"; personalization algorithms may want to skip
+// them (edge unification, measured by E9).
+constexpr bool IsAutomaticEdge(EdgeKind kind) {
+  return kind == EdgeKind::kRedirect || kind == EdgeKind::kEmbed;
+}
+
+std::string_view NodeKindName(NodeKind kind);
+std::string_view EdgeKindName(EdgeKind kind);
+
+}  // namespace bp::prov

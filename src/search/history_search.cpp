@@ -1,0 +1,148 @@
+#include "search/history_search.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/algo.hpp"
+#include "text/tokenizer.hpp"
+#include "util/require.hpp"
+
+namespace bp::search {
+
+using graph::AttrMap;
+using graph::Edge;
+using graph::Node;
+using prov::EdgeKind;
+using prov::NodeKind;
+using util::Result;
+using util::Status;
+
+Result<std::unique_ptr<HistorySearcher>> HistorySearcher::Open(
+    storage::Db& db, prov::ProvStore& store) {
+  std::unique_ptr<HistorySearcher> searcher(
+      new HistorySearcher(db, store));
+  BP_ASSIGN_OR_RETURN(searcher->index_,
+                      text::InvertedIndex::Open(db, "textindex"));
+  BP_RETURN_IF_ERROR(searcher->IndexNewPages());
+  return searcher;
+}
+
+Status HistorySearcher::IndexNewPages() {
+  // Canonical page nodes carry url+title; node ids ascend, so a
+  // watermark makes this incremental.
+  NodeId high = indexed_watermark_;
+  BP_RETURN_IF_ERROR(store_.graph().ForEachNode([&](const Node& node) {
+    if (node.id <= indexed_watermark_) return true;
+    high = std::max(high, node.id);
+    if (node.kind != static_cast<uint32_t>(NodeKind::kPage)) return true;
+    std::string doc(node.attrs.StringOr(prov::kAttrUrl, ""));
+    doc += ' ';
+    doc += node.attrs.StringOr(prov::kAttrTitle, "");
+    Status st = index_->AddDocument(node.id, text::Tokenize(doc));
+    return st.ok();
+  }));
+  indexed_watermark_ = high;
+  return index_->Flush();
+}
+
+Result<RankedPage> HistorySearcher::MakeRankedPage(NodeId page_node) const {
+  BP_ASSIGN_OR_RETURN(Node node, store_.graph().GetNode(page_node));
+  RankedPage page;
+  page.page = page_node;
+  page.url = std::string(node.attrs.StringOr(prov::kAttrUrl, ""));
+  page.title = std::string(node.attrs.StringOr(prov::kAttrTitle, ""));
+  return page;
+}
+
+Result<ContextualSearchResult> HistorySearcher::TextualSearch(
+    const std::string& query, size_t k) {
+  BP_ASSIGN_OR_RETURN(std::vector<text::ScoredDoc> docs,
+                      index_->Search(text::Tokenize(query), k));
+  ContextualSearchResult result;
+  for (const text::ScoredDoc& doc : docs) {
+    BP_ASSIGN_OR_RETURN(RankedPage page, MakeRankedPage(doc.doc));
+    page.text_score = doc.score;
+    page.total = doc.score;
+    result.pages.push_back(std::move(page));
+  }
+  return result;
+}
+
+Result<ContextualSearchResult> HistorySearcher::ContextualSearch(
+    const std::string& query, const ContextualSearchOptions& options) {
+  std::vector<std::string> tokens = text::Tokenize(query);
+
+  // Stage 1: textual seeds (canonical pages).
+  BP_ASSIGN_OR_RETURN(std::vector<text::ScoredDoc> docs,
+                      index_->Search(tokens, options.text_seeds));
+  std::vector<std::pair<NodeId, double>> seeds;
+  std::unordered_map<NodeId, double> text_scores;
+  for (const text::ScoredDoc& doc : docs) {
+    seeds.push_back({doc.doc, doc.score});
+    text_scores[doc.doc] = doc.score;
+  }
+
+  // Stage 1b: matching search-term nodes are seeds too — the query the
+  // user once typed is in the lineage of what it produced.
+  for (const std::string& token : tokens) {
+    auto term = store_.TermForQuery(token);
+    if (term.ok()) {
+      seeds.push_back({*term, 1.0});
+    } else if (!term.status().IsNotFound()) {
+      return term.status();
+    }
+  }
+  // Multi-token queries may exist as full term nodes ("plane tickets").
+  if (tokens.size() > 1) {
+    auto term = store_.TermForQuery(query);
+    if (term.ok()) seeds.push_back({*term, 1.5});
+  }
+
+  // Stage 2: spread relevance through the provenance neighborhood.
+  graph::EdgeFilter filter;
+  if (options.unify_automatic_edges) {
+    filter = [](const Edge& edge) {
+      return !prov::IsAutomaticEdge(static_cast<EdgeKind>(edge.kind));
+    };
+  }
+  bool truncated = false;
+  BP_ASSIGN_OR_RETURN(
+      auto weights,
+      graph::ExpandWithDecay(store_.graph(), seeds, options.expand_depth,
+                             options.decay, filter, options.budget,
+                             &truncated));
+
+  // Stage 3: fold weights onto canonical pages and blend.
+  std::unordered_map<NodeId, double> page_prov;
+  for (const auto& [node_id, weight] : weights) {
+    BP_ASSIGN_OR_RETURN(Node node, store_.graph().GetNode(node_id));
+    NodeId page = 0;
+    if (node.kind == static_cast<uint32_t>(NodeKind::kPage)) {
+      page = node_id;
+    } else if (node.kind == static_cast<uint32_t>(NodeKind::kVisit)) {
+      auto canonical = store_.PageOfView(node_id);
+      if (canonical.ok()) page = *canonical;
+    }
+    if (page != 0) page_prov[page] += weight;
+  }
+
+  ContextualSearchResult result;
+  result.truncated = truncated;
+  for (const auto& [page_id, prov_score] : page_prov) {
+    BP_ASSIGN_OR_RETURN(RankedPage page, MakeRankedPage(page_id));
+    auto text_it = text_scores.find(page_id);
+    page.text_score = text_it == text_scores.end() ? 0.0 : text_it->second;
+    page.prov_score = prov_score;
+    page.total = page.text_score + options.prov_weight * page.prov_score;
+    result.pages.push_back(std::move(page));
+  }
+  std::sort(result.pages.begin(), result.pages.end(),
+            [](const RankedPage& a, const RankedPage& b) {
+              if (a.total != b.total) return a.total > b.total;
+              return a.page < b.page;
+            });
+  if (result.pages.size() > options.k) result.pages.resize(options.k);
+  return result;
+}
+
+}  // namespace bp::search

@@ -1,0 +1,200 @@
+#include "search/lineage.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/algo.hpp"
+#include "util/strings.hpp"
+
+namespace bp::search {
+
+using graph::Direction;
+using graph::Node;
+using graph::TraversalOptions;
+using graph::VisitRecord;
+using prov::EdgeKind;
+using prov::NodeKind;
+using util::Result;
+using util::Status;
+
+namespace {
+
+// Human-readable node label for lineage reports.
+Result<LineageStep> MakeStep(prov::ProvStore& store, NodeId node_id) {
+  BP_ASSIGN_OR_RETURN(Node node, store.graph().GetNode(node_id));
+  LineageStep step;
+  step.node = node_id;
+  switch (static_cast<NodeKind>(node.kind)) {
+    case NodeKind::kPage:
+      step.url = node.attrs.StringOr(prov::kAttrUrl, "");
+      step.label = "page " + step.url;
+      break;
+    case NodeKind::kVisit: {
+      auto page = store.PageOfView(node_id);
+      if (page.ok()) {
+        BP_ASSIGN_OR_RETURN(Node page_node, store.graph().GetNode(*page));
+        step.url = page_node.attrs.StringOr(prov::kAttrUrl, "");
+      }
+      step.label = "visit of " + step.url;
+      break;
+    }
+    case NodeKind::kDownload:
+      step.url = node.attrs.StringOr(prov::kAttrUrl, "");
+      step.label = util::StrFormat(
+          "download %s -> %s", step.url.c_str(),
+          std::string(node.attrs.StringOr(prov::kAttrTarget, "")).c_str());
+      break;
+    case NodeKind::kSearchTerm:
+    case NodeKind::kSearchIssue:
+      step.label = "search \"" +
+                   std::string(node.attrs.StringOr(prov::kAttrQuery, "")) +
+                   "\"";
+      break;
+    case NodeKind::kBookmark:
+      step.label = "bookmark \"" +
+                   std::string(node.attrs.StringOr(prov::kAttrTitle, "")) +
+                   "\"";
+      break;
+    case NodeKind::kFormSubmission:
+      step.label = "form [" +
+                   std::string(node.attrs.StringOr(prov::kAttrSummary, "")) +
+                   "]";
+      break;
+  }
+  return step;
+}
+
+// Visit-count of the canonical page behind a lineage node (0 when the
+// node has no page, e.g. a search term).
+Result<std::pair<NodeId, int64_t>> PageAndVisitCount(prov::ProvStore& store,
+                                                     const Node& node) {
+  NodeId page = 0;
+  if (node.kind == static_cast<uint32_t>(NodeKind::kPage)) {
+    page = node.id;
+  } else if (node.kind == static_cast<uint32_t>(NodeKind::kVisit)) {
+    auto canonical = store.PageOfView(node.id);
+    if (canonical.ok()) page = *canonical;
+  }
+  if (page == 0) return std::pair<NodeId, int64_t>{0, 0};
+  BP_ASSIGN_OR_RETURN(Node page_node, store.graph().GetNode(page));
+  return std::pair<NodeId, int64_t>{
+      page, page_node.attrs.IntOr(prov::kAttrVisitCount, 0)};
+}
+
+}  // namespace
+
+Result<LineageReport> TraceDownload(prov::ProvStore& store,
+                                    NodeId download_node,
+                                    const LineageOptions& options) {
+  BP_ASSIGN_OR_RETURN(Node download, store.graph().GetNode(download_node));
+  if (download.kind != static_cast<uint32_t>(NodeKind::kDownload)) {
+    return Status::InvalidArgument("TraceDownload: not a download node");
+  }
+
+  TraversalOptions topts;
+  topts.direction = Direction::kIn;
+  topts.max_depth = options.max_depth;
+  topts.budget = options.budget;
+  // Ancestry must not cross kInstanceOf edges backwards into *other*
+  // visits of the same page (a page's canonical node has in-edges from
+  // every visit, not just this chain). Walk only action edges.
+  topts.edge_filter = [](const graph::Edge& edge) {
+    EdgeKind kind = static_cast<EdgeKind>(edge.kind);
+    return kind != EdgeKind::kInstanceOf &&
+           kind != EdgeKind::kTermInstanceOf;
+  };
+
+  BP_ASSIGN_OR_RETURN(graph::TraversalResult traversal,
+                      graph::Bfs(store.graph(), download_node, topts));
+
+  LineageReport report;
+  report.truncated = traversal.truncated;
+  report.ancestors_scanned = traversal.visits.size();
+
+  // First (nearest) recognizable ancestor in BFS order.
+  NodeId found_node = 0;
+  for (const VisitRecord& record : traversal.visits) {
+    if (record.node == download_node) continue;
+    BP_ASSIGN_OR_RETURN(Node node, store.graph().GetNode(record.node));
+    BP_ASSIGN_OR_RETURN(auto page_count, PageAndVisitCount(store, node));
+    if (page_count.first != 0 &&
+        page_count.second >= options.min_visit_count) {
+      report.found_recognizable = true;
+      report.recognizable_page = page_count.first;
+      found_node = record.node;
+      BP_ASSIGN_OR_RETURN(Node page_node,
+                          store.graph().GetNode(page_count.first));
+      report.recognizable_url =
+          std::string(page_node.attrs.StringOr(prov::kAttrUrl, ""));
+      break;
+    }
+  }
+
+  // Path: BFS parents lead from the recognizable node back to the
+  // download; we present it in causal order (ancestor first).
+  std::vector<NodeId> chain =
+      traversal.PathTo(found_node != 0 ? found_node : traversal.visits
+                                                          .back()
+                                                          .node);
+  // PathTo returns download -> ... -> ancestor (start first); reverse to
+  // causal order.
+  std::reverse(chain.begin(), chain.end());
+  for (size_t i = 0; i < chain.size(); ++i) {
+    BP_ASSIGN_OR_RETURN(LineageStep step, MakeStep(store, chain[i]));
+    report.path.push_back(std::move(step));
+  }
+  return report;
+}
+
+Result<std::vector<DescendantDownload>> DescendantDownloads(
+    prov::ProvStore& store, const std::string& url,
+    const LineageOptions& options) {
+  BP_ASSIGN_OR_RETURN(NodeId page, store.PageForUrl(url));
+  BP_ASSIGN_OR_RETURN(std::vector<NodeId> views, store.ViewsOfPage(page));
+
+  TraversalOptions topts;
+  topts.direction = Direction::kOut;
+  topts.max_depth = options.max_depth;
+  topts.budget = options.budget;
+  topts.edge_filter = [](const graph::Edge& edge) {
+    EdgeKind kind = static_cast<EdgeKind>(edge.kind);
+    return kind != EdgeKind::kInstanceOf &&
+           kind != EdgeKind::kTermInstanceOf;
+  };
+
+  std::unordered_map<NodeId, uint32_t> found;  // download -> min depth
+  for (NodeId view : views) {
+    BP_ASSIGN_OR_RETURN(graph::TraversalResult traversal,
+                        graph::Bfs(store.graph(), view, topts));
+    for (const VisitRecord& record : traversal.visits) {
+      BP_ASSIGN_OR_RETURN(Node node, store.graph().GetNode(record.node));
+      if (node.kind != static_cast<uint32_t>(NodeKind::kDownload)) continue;
+      auto it = found.find(record.node);
+      if (it == found.end() || record.depth < it->second) {
+        found[record.node] = record.depth;
+      }
+    }
+  }
+
+  std::vector<DescendantDownload> downloads;
+  downloads.reserve(found.size());
+  for (const auto& [node_id, depth] : found) {
+    BP_ASSIGN_OR_RETURN(Node node, store.graph().GetNode(node_id));
+    DescendantDownload download;
+    download.download = node_id;
+    download.source_url =
+        std::string(node.attrs.StringOr(prov::kAttrUrl, ""));
+    download.target_path =
+        std::string(node.attrs.StringOr(prov::kAttrTarget, ""));
+    download.depth = depth;
+    downloads.push_back(std::move(download));
+  }
+  std::sort(downloads.begin(), downloads.end(),
+            [](const DescendantDownload& a, const DescendantDownload& b) {
+              if (a.depth != b.depth) return a.depth < b.depth;
+              return a.download < b.download;
+            });
+  return downloads;
+}
+
+}  // namespace bp::search

@@ -1,0 +1,69 @@
+// Download lineage (use case 2.4).
+//
+// "What the user really wants is, starting from a known location, the
+// sequence of actions that resulted in the download." Two queries:
+//
+//   TraceDownload — breadth-first search over a download's ancestors,
+//   stopping at the first node the user is "likely to recognize",
+//   defined (as the paper suggests) by visit count. Returns the action
+//   path recognizable-ancestor -> ... -> download.
+//
+//   DescendantDownloads — "Find all descendants of this page that are
+//   downloads": after the user declares a page untrusted, every download
+//   whose lineage passes through it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "prov/prov_store.hpp"
+#include "util/budget.hpp"
+#include "util/status.hpp"
+
+namespace bp::search {
+
+using graph::NodeId;
+
+struct LineageOptions {
+  // A page is "recognizable" when visited at least this often.
+  int64_t min_visit_count = 5;
+  uint32_t max_depth = 64;
+  util::QueryBudget* budget = nullptr;
+};
+
+struct LineageStep {
+  NodeId node = 0;
+  std::string url;     // empty for non-page nodes (search terms etc.)
+  std::string label;   // human-readable: node kind + title/query
+  uint32_t edge_kind = 0;  // action that led to the NEXT step (0 at end)
+};
+
+struct LineageReport {
+  bool found_recognizable = false;
+  NodeId recognizable_page = 0;   // canonical page node
+  std::string recognizable_url;
+  // Path recognizable ancestor -> ... -> download (inclusive).
+  std::vector<LineageStep> path;
+  uint64_t ancestors_scanned = 0;
+  bool truncated = false;
+};
+
+// Walks the ancestry of `download_node` (a kDownload node) to the first
+// recognizable page.
+util::Result<LineageReport> TraceDownload(prov::ProvStore& store,
+                                          NodeId download_node,
+                                          const LineageOptions& options = {});
+
+struct DescendantDownload {
+  NodeId download = 0;
+  std::string source_url;
+  std::string target_path;
+  uint32_t depth = 0;  // hops from the untrusted page's nearest view
+};
+
+// All downloads reachable from any view of the page with `url`.
+util::Result<std::vector<DescendantDownload>> DescendantDownloads(
+    prov::ProvStore& store, const std::string& url,
+    const LineageOptions& options = {});
+
+}  // namespace bp::search

@@ -1,0 +1,92 @@
+#include "search/personalize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "text/tokenizer.hpp"
+
+namespace bp::search {
+
+using util::Result;
+
+std::string PersonalizationResult::AugmentedQuery() const {
+  std::string out = original_query;
+  for (const std::string& term : expansion_terms) {
+    out += ' ';
+    out += term;
+  }
+  return out;
+}
+
+Result<PersonalizationResult> PersonalizeQuery(
+    HistorySearcher& searcher, const std::string& query,
+    const PersonalizeOptions& options) {
+  PersonalizationResult result;
+  result.original_query = query;
+
+  ContextualSearchOptions copts = options.contextual;
+  copts.k = options.history_results;
+  BP_ASSIGN_OR_RETURN(ContextualSearchResult history,
+                      searcher.ContextualSearch(query, copts));
+  result.truncated = history.truncated;
+
+  std::unordered_set<std::string> query_terms;
+  for (const std::string& t : text::Tokenize(query)) query_terms.insert(t);
+
+  // Mine only the *pure provenance* neighbors: pages that did NOT match
+  // the query textually. Textual matches (e.g. the engine's own results
+  // page, whose title quotes the query) restate the query rather than
+  // revealing the user's context — the association signal the paper
+  // wants lives in the contextually related pages.
+  std::vector<const RankedPage*> pool;
+  for (const RankedPage& page : history.pages) {
+    if (page.text_score == 0.0 && page.total > 0.0) {
+      pool.push_back(&page);
+    }
+  }
+  if (pool.empty()) {
+    for (const RankedPage& page : history.pages) {
+      if (page.total > 0.0) pool.push_back(&page);
+    }
+  }
+
+  // Relevance-weighted term mass + within-neighborhood document
+  // frequency (terms recurring across many context pages are the
+  // association; singletons are noise).
+  std::unordered_map<std::string, double> term_mass;
+  std::unordered_map<std::string, uint32_t> term_df;
+  for (const RankedPage* page : pool) {
+    std::unordered_set<std::string> seen_here;
+    for (const std::string& term :
+         text::Tokenize(page->title + " " + page->url)) {
+      if (query_terms.count(term) > 0) continue;
+      term_mass[term] += page->total;
+      if (seen_here.insert(term).second) ++term_df[term];
+    }
+  }
+
+  // Specificity: idf from the history index so boilerplate that saturates
+  // the whole history scores low.
+  result.candidates.reserve(term_mass.size());
+  for (const auto& [term, mass] : term_mass) {
+    BP_ASSIGN_OR_RETURN(double idf, searcher.index().Idf(term));
+    if (idf <= 0.0) continue;
+    const double association = std::log(1.0 + term_df[term]);
+    result.candidates.push_back(TermCandidate{term, mass * association * idf});
+  }
+  std::sort(result.candidates.begin(), result.candidates.end(),
+            [](const TermCandidate& a, const TermCandidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.term < b.term;
+            });
+  for (size_t i = 0;
+       i < options.max_expansion_terms && i < result.candidates.size();
+       ++i) {
+    result.expansion_terms.push_back(result.candidates[i].term);
+  }
+  return result;
+}
+
+}  // namespace bp::search

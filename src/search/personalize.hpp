@@ -1,0 +1,61 @@
+// Personalizing web search (use case 2.2).
+//
+// A contextual history search over the ambiguous query finds the user's
+// own context (the gardener's rosebud neighborhood is full of flower
+// pages); term-frequency analysis of that neighborhood yields candidate
+// expansion terms; the query sent to the engine becomes e.g.
+// "rosebud flower".
+//
+// Privacy property (the paper's key point): the engine sees ONLY the
+// augmented query string. PersonalizationResult contains the query and
+// diagnostic candidates; `DisclosedBytes()` of the query is the entire
+// information flow to the third party — no history leaves the machine.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "search/history_search.hpp"
+#include "util/status.hpp"
+
+namespace bp::search {
+
+struct TermCandidate {
+  std::string term;
+  double score = 0.0;  // relevance-weighted frequency x specificity
+};
+
+struct PersonalizationResult {
+  std::string original_query;
+  std::vector<std::string> expansion_terms;
+  std::vector<TermCandidate> candidates;  // diagnostics (stay local)
+  bool truncated = false;
+
+  // The exact string the engine would receive.
+  std::string AugmentedQuery() const;
+  // Bytes disclosed to the third party (the augmented query, nothing
+  // else).
+  size_t DisclosedBytes() const { return AugmentedQuery().size(); }
+};
+
+struct PersonalizeOptions {
+  size_t max_expansion_terms = 1;
+  size_t history_results = 15;  // contextual results to mine for terms
+  ContextualSearchOptions contextual;  // inner search knobs
+
+  PersonalizeOptions() {
+    // Context pages sit one instance-hop further out than their visits;
+    // radius 4 reaches pages two user actions away from the query.
+    contextual.expand_depth = 4;
+  }
+};
+
+// Mines the user's provenance neighborhood of `query` for expansion
+// terms. Terms already in the query are excluded; candidates are scored
+// by (sum of the relevance of pages containing them) x idf from the
+// *history* index (specific words beat boilerplate).
+util::Result<PersonalizationResult> PersonalizeQuery(
+    HistorySearcher& searcher, const std::string& query,
+    const PersonalizeOptions& options = {});
+
+}  // namespace bp::search

@@ -1,0 +1,44 @@
+// Time-contextual history search (use case 2.3): "wine associated with
+// plane tickets".
+//
+// The primary query finds candidate pages textually; the context query
+// finds the remembered companion pages; candidates are boosted when one
+// of their visits was OPEN AT THE SAME TIME as a context page's visit.
+// Requires the close timestamps of section 3.2 — with the Places-style
+// "every page is always open" store this degrades to plain text search,
+// which is exactly the paper's criticism.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "search/history_search.hpp"
+#include "util/status.hpp"
+
+namespace bp::search {
+
+struct TimeContextOptions {
+  size_t k = 10;
+  size_t candidate_pool = 30;  // textual candidates per side
+  double co_open_boost = 4.0;  // multiplier when co-open with context
+  util::QueryBudget* budget = nullptr;
+};
+
+struct TimeContextMatch {
+  RankedPage page;
+  bool co_open = false;       // overlapped a context visit
+  double overlap_ms = 0.0;    // total overlap duration
+};
+
+struct TimeContextResult {
+  std::vector<TimeContextMatch> matches;
+  bool truncated = false;
+};
+
+// Ranks pages matching `primary_query` by text score, boosted by co-open
+// overlap with visits of pages matching `context_query`.
+util::Result<TimeContextResult> TimeContextualSearch(
+    HistorySearcher& searcher, const std::string& primary_query,
+    const std::string& context_query, const TimeContextOptions& options = {});
+
+}  // namespace bp::search

@@ -1,0 +1,353 @@
+#include "sim/browser.hpp"
+
+#include <algorithm>
+
+#include "text/tokenizer.hpp"
+#include "util/require.hpp"
+#include "util/strings.hpp"
+
+namespace bp::sim {
+
+using capture::BookmarkAddEvent;
+using capture::CloseEvent;
+using capture::DownloadEvent;
+using capture::FormSubmitEvent;
+using capture::NavigationAction;
+using capture::SearchEvent;
+using capture::VisitEvent;
+using util::Rng;
+
+BrowserSim::BrowserSim(const WebGraph& web, UserConfig config)
+    : web_(web), config_(config), rng_(config.seed) {
+  const uint32_t topics = web_.vocab().topic_count();
+  out_.primary_topic = static_cast<uint32_t>(rng_.Uniform(topics));
+  topic_weights_.assign(topics, 0.0);
+  double rest = 1.0 - config_.primary_topic_share;
+  for (uint32_t t = 0; t < topics; ++t) {
+    if (t == out_.primary_topic) {
+      topic_weights_[t] = config_.primary_topic_share;
+    } else {
+      topic_weights_[t] = rest / (topics - 1);
+    }
+  }
+}
+
+uint32_t BrowserSim::SampleTopic() {
+  return static_cast<uint32_t>(rng_.PickWeighted(topic_weights_));
+}
+
+TimeMs BrowserSim::Dwell() {
+  return static_cast<TimeMs>(
+             rng_.Exponential(1.0 / config_.dwell_seconds_mean) * 1000.0) +
+         500;
+}
+
+uint64_t BrowserSim::EmitVisit(Tab& tab, PageIndex page_index,
+                               NavigationAction action, uint64_t referrer,
+                               uint64_t search_id, uint64_t bookmark_id,
+                               uint64_t form_id) {
+  // Close the view previously displayed in this tab (navigation away).
+  if (tab.current_visit != 0) {
+    out_.events.push_back(
+        CloseEvent{now_, tab.id, tab.current_visit});
+  }
+
+  // Follow redirect hops (bounded: synthetic redirectors never chain more
+  // than a few).
+  PageIndex current = page_index;
+  uint64_t prev = referrer;
+  NavigationAction current_action = action;
+  for (int hop = 0; hop < 4; ++hop) {
+    const SimPage& page = web_.page(current);
+    VisitEvent visit;
+    visit.time = now_;
+    visit.tab = tab.id;
+    visit.visit_id = next_visit_id_++;
+    visit.url = page.url;
+    visit.title = page.title;
+    visit.action = current_action;
+    visit.referrer_visit = prev;
+    visit.search_id = search_id;
+    visit.bookmark_id = bookmark_id;
+    visit.form_id = form_id;
+    out_.events.push_back(visit);
+    ++out_.total_visits;
+    prev = visit.visit_id;
+
+    if (!page.redirect_target.has_value()) {
+      // Embedded content loads with the page (hidden visits).
+      for (const std::string& embed : page.embed_urls) {
+        VisitEvent sub;
+        sub.time = now_;
+        sub.tab = tab.id;
+        sub.visit_id = next_visit_id_++;
+        sub.url = embed;
+        sub.title = "";
+        sub.action = NavigationAction::kEmbed;
+        sub.referrer_visit = prev;
+        out_.events.push_back(sub);
+        ++out_.total_visits;
+        // Embeds close immediately with their own load.
+        out_.events.push_back(CloseEvent{now_, tab.id, sub.visit_id});
+      }
+      tab.current_visit = prev;
+      tab.current_page = current;
+      tab.chain_visits.push_back(prev);
+      tab.chain_urls.push_back(page.url);
+      return prev;
+    }
+    current = *page.redirect_target;
+    current_action = NavigationAction::kRedirect;
+    search_id = bookmark_id = form_id = 0;
+    now_ += 120;  // redirect round-trip
+  }
+  // Redirect loop fallback: land on the last page reached.
+  tab.current_visit = prev;
+  tab.current_page = current;
+  return prev;
+}
+
+void BrowserSim::EmitClose(Tab& tab) {
+  if (tab.current_visit != 0) {
+    out_.events.push_back(CloseEvent{now_, tab.id, tab.current_visit});
+    tab.current_visit = 0;
+  }
+}
+
+void BrowserSim::DoSearch(Tab& tab) {
+  const uint32_t topic = SampleTopic();
+  // Query: 1-2 topic terms.
+  std::vector<std::string> terms =
+      web_.vocab().SampleTerms(rng_, topic, 1 + rng_.Uniform(2));
+  std::string query = util::Join(terms, " ");
+
+  SearchEvent search;
+  search.time = now_;
+  search.tab = tab.id;
+  search.search_id = next_search_id_++;
+  search.query = query;
+  search.from_visit = tab.current_visit;
+  out_.events.push_back(search);
+
+  // Results page visit.
+  auto results = web_.Search(terms, 10);
+  now_ += 300;
+  VisitEvent results_visit;
+  results_visit.time = now_;
+  results_visit.tab = tab.id;
+  results_visit.visit_id = next_visit_id_++;
+  results_visit.url = WebGraph::ResultsUrl(query);
+  results_visit.title = query + " - search results";
+  results_visit.action = NavigationAction::kSearchResult;
+  results_visit.referrer_visit = tab.current_visit;
+  results_visit.search_id = search.search_id;
+  if (tab.current_visit != 0) {
+    out_.events.push_back(CloseEvent{now_, tab.id, tab.current_visit});
+  }
+  out_.events.push_back(results_visit);
+  ++out_.total_visits;
+  tab.current_visit = results_visit.visit_id;
+  tab.current_page = kNoPageIndex;
+  tab.chain_visits.push_back(results_visit.visit_id);
+  tab.chain_urls.push_back(results_visit.url);
+
+  SearchEpisode episode;
+  episode.search_id = search.search_id;
+  episode.query = query;
+  episode.results_visit = results_visit.visit_id;
+  episode.topic = topic;
+
+  // Click a result (usually).
+  if (!results.empty() && rng_.Bernoulli(config_.p_click_search_result)) {
+    // Users prefer top results; among same-topic results even more so.
+    size_t pick = rng_.Zipf(results.size(), 1.3);
+    PageIndex target = results[pick].page;
+    now_ += Dwell();
+    uint64_t clicked =
+        EmitVisit(tab, target, NavigationAction::kLink,
+                  results_visit.visit_id, 0, 0, 0);
+    episode.clicked_visit = clicked;
+    episode.clicked_url = web_.page(target).url;
+  }
+  out_.searches.push_back(std::move(episode));
+}
+
+void BrowserSim::SessionActions(TimeMs session_start) {
+  now_ = session_start;
+
+  // Session begins in a fresh tab via search, typed URL, or bookmark.
+  tabs_.push_back(Tab{next_tab_id_++, 0, kNoPageIndex, {}, {}});
+  active_tab_ = tabs_.size() - 1;
+  {
+    Tab& tab = tabs_[active_tab_];
+    double roll = rng_.UniformReal();
+    if (!bookmarks_.empty() && roll < 0.25) {
+      const Bookmark& bm = bookmarks_[rng_.Uniform(bookmarks_.size())];
+      EmitVisit(tab, bm.page, NavigationAction::kBookmark, 0, 0, bm.id, 0);
+    } else if (roll < 0.55) {
+      EmitVisit(tab, web_.SamplePageInTopic(rng_, SampleTopic()),
+                NavigationAction::kTyped, 0, 0, 0, 0);
+    } else {
+      DoSearch(tab);
+    }
+  }
+
+  const int actions =
+      1 + rng_.Poisson(config_.actions_per_session_mean);
+  for (int a = 0; a < actions; ++a) {
+    now_ += Dwell();
+    Tab& tab = tabs_[active_tab_];
+    const SimPage* page =
+        tab.current_page == kNoPageIndex ? nullptr : &web_.page(tab.current_page);
+
+    // Build the availability-weighted action distribution.
+    enum Action {
+      kFollow,
+      kSearch,
+      kTyped,
+      kNewTab,
+      kSwitchTab,
+      kBookmarkAdd,
+      kBookmarkClick,
+      kDownload,
+      kForm,
+    };
+    double weights[] = {
+        (page != nullptr && !page->links.empty()) ? config_.p_follow_link : 0,
+        config_.p_search,
+        config_.p_typed_url,
+        (page != nullptr && !page->links.empty() &&
+         tabs_.size() < config_.max_open_tabs)
+            ? config_.p_new_tab_link
+            : 0,
+        tabs_.size() > 1 ? config_.p_switch_tab : 0,
+        (page != nullptr) ? config_.p_bookmark_add : 0,
+        !bookmarks_.empty() ? config_.p_bookmark_click : 0,
+        (page != nullptr && page->has_download) ? config_.p_download * 8
+                                                : 0,
+        (page != nullptr && page->has_form) ? config_.p_form_submit * 6 : 0,
+    };
+    switch (static_cast<Action>(rng_.PickWeighted(weights))) {
+      case kFollow: {
+        PageIndex target = page->links[rng_.Uniform(page->links.size())];
+        EmitVisit(tab, target, NavigationAction::kLink, tab.current_visit,
+                  0, 0, 0);
+        break;
+      }
+      case kSearch:
+        DoSearch(tab);
+        break;
+      case kTyped: {
+        // Typed navigation: prior page relationship exists (same tab)
+        // and IS reported in the stream; Places will drop it.
+        EmitVisit(tab, web_.SamplePageInTopic(rng_, SampleTopic()),
+                  NavigationAction::kTyped, tab.current_visit, 0, 0, 0);
+        break;
+      }
+      case kNewTab: {
+        PageIndex target = page->links[rng_.Uniform(page->links.size())];
+        uint64_t opener = tab.current_visit;
+        tabs_.push_back(Tab{next_tab_id_++, 0, kNoPageIndex, {}, {}});
+        active_tab_ = tabs_.size() - 1;
+        EmitVisit(tabs_[active_tab_], target, NavigationAction::kNewTab,
+                  opener, 0, 0, 0);
+        break;
+      }
+      case kSwitchTab:
+        active_tab_ = rng_.Uniform(tabs_.size());
+        break;
+      case kBookmarkAdd: {
+        BookmarkAddEvent add;
+        add.time = now_;
+        add.bookmark_id = next_bookmark_id_++;
+        add.url = page->url;
+        add.title = page->title;
+        add.from_visit = tab.current_visit;
+        out_.events.push_back(add);
+        bookmarks_.push_back(Bookmark{add.bookmark_id, tab.current_page});
+        break;
+      }
+      case kBookmarkClick: {
+        const Bookmark& bm = bookmarks_[rng_.Uniform(bookmarks_.size())];
+        EmitVisit(tab, bm.page, NavigationAction::kBookmark, 0, 0, bm.id,
+                  0);
+        break;
+      }
+      case kDownload: {
+        DownloadEvent dl;
+        dl.time = now_;
+        dl.download_id = next_download_id_++;
+        dl.url = page->download_url;
+        dl.target_path = "/home/user/Downloads/" +
+                         page->download_url.substr(
+                             page->download_url.rfind('/') + 1);
+        dl.from_visit = tab.current_visit;
+        out_.events.push_back(dl);
+
+        DownloadEpisode episode;
+        episode.download_id = dl.download_id;
+        episode.resource_url = dl.url;
+        episode.referral_chain_urls = tab.chain_urls;
+        episode.referral_chain_visits = tab.chain_visits;
+        out_.downloads.push_back(std::move(episode));
+        break;
+      }
+      case kForm: {
+        FormSubmitEvent form;
+        form.time = now_;
+        form.form_id = next_form_id_++;
+        form.from_visit = tab.current_visit;
+        form.field_summary = util::StrFormat(
+            "%s=%s", page->content_terms[0].c_str(),
+            web_.vocab().SampleTerms(rng_, page->topic, 1)[0].c_str());
+        out_.events.push_back(form);
+        // The form produces a same-site result page.
+        PageIndex target =
+            page->links.empty()
+                ? tab.current_page
+                : page->links[rng_.Uniform(page->links.size())];
+        now_ += 400;
+        EmitVisit(tab, target, NavigationAction::kFormResult,
+                  tab.current_visit, 0, 0, form.form_id);
+        break;
+      }
+    }
+  }
+
+  // Session end: close most tabs.
+  for (size_t t = tabs_.size(); t-- > 0;) {
+    if (rng_.Bernoulli(config_.session_end_close_fraction)) {
+      EmitClose(tabs_[t]);
+      tabs_.erase(tabs_.begin() + static_cast<long>(t));
+    } else {
+      // Keep the tab but forget its chain across sessions.
+      tabs_[t].chain_visits.clear();
+      tabs_[t].chain_urls.clear();
+    }
+  }
+  if (tabs_.size() > config_.max_open_tabs) tabs_.resize(config_.max_open_tabs);
+  active_tab_ = tabs_.empty() ? 0 : tabs_.size() - 1;
+}
+
+SimOutput BrowserSim::Run() {
+  for (uint32_t day = 0; day < config_.days; ++day) {
+    const int sessions = rng_.Poisson(config_.sessions_per_day);
+    TimeMs day_start = util::Days(day) + util::Hours(8);
+    TimeMs cursor = day_start;
+    for (int s = 0; s < sessions; ++s) {
+      cursor += static_cast<TimeMs>(
+          rng_.Exponential(1.0 / 3.0) * util::kMsPerHour);
+      SessionActions(cursor);
+      cursor = std::max(cursor, now_) + util::Minutes(5);
+    }
+  }
+  // Events are produced in time order by construction; enforce it anyway
+  // (cheap stable sort) so consumers can rely on monotonic time.
+  std::stable_sort(out_.events.begin(), out_.events.end(),
+                   [](const BrowserEvent& a, const BrowserEvent& b) {
+                     return capture::EventTime(a) < capture::EventTime(b);
+                   });
+  return std::move(out_);
+}
+
+}  // namespace bp::sim

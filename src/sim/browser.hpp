@@ -1,0 +1,140 @@
+// BrowserSim: a tabbed browser driven by a stochastic user model,
+// emitting the BrowserEvent stream the recorders ingest.
+//
+// The user has topical interests; sessions arrive over simulated days;
+// within a session the user searches, clicks results and links, types
+// URLs, opens tabs, bookmarks, fills forms, and downloads files. Redirect
+// hops and embedded content fire automatically on navigation, exactly the
+// "not generated as the result of a user action" edges of section 3.2.
+//
+// Everything is deterministic in the seed. Ground truth for the quality
+// experiments (which page a search "meant", the true referral chain of a
+// download) is recorded as episodes alongside the stream.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "capture/events.hpp"
+#include "sim/web.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace bp::sim {
+
+using capture::BrowserEvent;
+using util::TimeMs;
+
+struct UserConfig {
+  uint64_t seed = 42;
+  // Defaults are calibrated so 79 days yields >25,000 provenance nodes —
+  // the scale the paper reports for one author's history.
+  uint32_t days = 79;
+  double sessions_per_day = 4.5;
+  double actions_per_session_mean = 32.0;
+  double dwell_seconds_mean = 25.0;
+
+  // Interest concentration: probability mass on the user's top topic;
+  // the rest spreads geometrically over other topics.
+  double primary_topic_share = 0.45;
+
+  // Per-action probabilities (renormalized by availability).
+  double p_follow_link = 0.42;
+  double p_search = 0.16;
+  double p_typed_url = 0.10;
+  double p_new_tab_link = 0.08;
+  double p_switch_tab = 0.08;
+  double p_bookmark_add = 0.04;
+  double p_bookmark_click = 0.05;
+  double p_download = 0.04;
+  double p_form_submit = 0.03;
+
+  double p_click_search_result = 0.9;  // click some result after a search
+  uint32_t max_open_tabs = 6;
+  // Fraction of tabs the user bothers to close at session end (the rest
+  // linger "open", as real users do).
+  double session_end_close_fraction = 0.7;
+};
+
+// Ground-truth episode records for the quality benches.
+struct SearchEpisode {
+  uint64_t search_id = 0;
+  std::string query;
+  uint64_t results_visit = 0;
+  uint64_t clicked_visit = 0;     // 0 if no click
+  std::string clicked_url;        // the page the user "meant"
+  uint32_t topic = 0;
+};
+
+struct DownloadEpisode {
+  uint64_t download_id = 0;
+  std::string resource_url;
+  std::vector<std::string> referral_chain_urls;  // root ... trigger page
+  std::vector<uint64_t> referral_chain_visits;
+};
+
+struct SimOutput {
+  std::vector<BrowserEvent> events;
+  std::vector<SearchEpisode> searches;
+  std::vector<DownloadEpisode> downloads;
+  uint32_t primary_topic = 0;
+  // Visits that were open simultaneously for a while (tab id -> periods
+  // are recoverable from the event stream; this counts them).
+  uint64_t total_visits = 0;
+};
+
+class BrowserSim {
+ public:
+  BrowserSim(const WebGraph& web, UserConfig config);
+
+  // Runs the whole simulation and returns the stream + ground truth.
+  SimOutput Run();
+
+ private:
+  struct Tab {
+    uint64_t id = 0;
+    uint64_t current_visit = 0;          // stream visit id
+    PageIndex current_page = kNoPageIndex;
+    std::vector<uint64_t> chain_visits;  // session referral chain
+    std::vector<std::string> chain_urls;
+  };
+
+  struct Bookmark {
+    uint64_t id = 0;
+    PageIndex page = kNoPageIndex;
+  };
+
+  // Emits a visit (resolving redirects and firing embeds); returns the
+  // stream visit id of the finally displayed page.
+  uint64_t EmitVisit(Tab& tab, PageIndex page,
+                     capture::NavigationAction action, uint64_t referrer,
+                     uint64_t search_id, uint64_t bookmark_id,
+                     uint64_t form_id);
+  void EmitClose(Tab& tab);
+  void SessionActions(TimeMs session_start);
+  void DoSearch(Tab& tab);
+  uint32_t SampleTopic();
+  TimeMs Dwell();
+
+  const WebGraph& web_;
+  UserConfig config_;
+  util::Rng rng_;
+  SimOutput out_;
+
+  TimeMs now_ = 0;
+  uint64_t next_visit_id_ = 1;
+  uint64_t next_search_id_ = 1;
+  uint64_t next_bookmark_id_ = 1;
+  uint64_t next_download_id_ = 1;
+  uint64_t next_form_id_ = 1;
+  uint64_t next_tab_id_ = 1;
+
+  std::vector<Tab> tabs_;
+  size_t active_tab_ = 0;
+  std::vector<Bookmark> bookmarks_;
+  std::vector<double> topic_weights_;
+};
+
+}  // namespace bp::sim

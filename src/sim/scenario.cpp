@@ -1,0 +1,259 @@
+#include "sim/scenario.hpp"
+
+#include "util/strings.hpp"
+
+namespace bp::sim {
+
+using capture::BookmarkAddEvent;
+using capture::CloseEvent;
+using capture::DownloadEvent;
+using capture::FormSubmitEvent;
+using capture::NavigationAction;
+using capture::SearchEvent;
+using capture::VisitEvent;
+
+uint64_t ScenarioBuilder::Visit(uint64_t tab, std::string url,
+                                std::string title,
+                                NavigationAction action, uint64_t referrer,
+                                uint64_t search_id, uint64_t bookmark_id,
+                                uint64_t form_id) {
+  VisitEvent visit;
+  visit.time = now_;
+  visit.tab = tab;
+  visit.visit_id = next_id_++;
+  visit.url = std::move(url);
+  visit.title = std::move(title);
+  visit.action = action;
+  visit.referrer_visit = referrer;
+  visit.search_id = search_id;
+  visit.bookmark_id = bookmark_id;
+  visit.form_id = form_id;
+  events_.push_back(visit);
+  return visit.visit_id;
+}
+
+uint64_t ScenarioBuilder::Search(uint64_t tab, std::string query,
+                                 uint64_t from_visit) {
+  SearchEvent search;
+  search.time = now_;
+  search.tab = tab;
+  search.search_id = next_id_++;
+  search.query = std::move(query);
+  search.from_visit = from_visit;
+  events_.push_back(search);
+  return search.search_id;
+}
+
+uint64_t ScenarioBuilder::BookmarkAdd(std::string url, std::string title,
+                                      uint64_t from_visit) {
+  BookmarkAddEvent add;
+  add.time = now_;
+  add.bookmark_id = next_id_++;
+  add.url = std::move(url);
+  add.title = std::move(title);
+  add.from_visit = from_visit;
+  events_.push_back(add);
+  return add.bookmark_id;
+}
+
+uint64_t ScenarioBuilder::Download(std::string url, std::string target,
+                                   uint64_t from_visit) {
+  DownloadEvent download;
+  download.time = now_;
+  download.download_id = next_id_++;
+  download.url = std::move(url);
+  download.target_path = std::move(target);
+  download.from_visit = from_visit;
+  events_.push_back(download);
+  return download.download_id;
+}
+
+uint64_t ScenarioBuilder::FormSubmit(std::string summary,
+                                     uint64_t from_visit) {
+  FormSubmitEvent form;
+  form.time = now_;
+  form.form_id = next_id_++;
+  form.from_visit = from_visit;
+  form.field_summary = std::move(summary);
+  events_.push_back(form);
+  return form.form_id;
+}
+
+void ScenarioBuilder::Close(uint64_t tab, uint64_t visit) {
+  events_.push_back(CloseEvent{now_, tab, visit});
+}
+
+RosebudScenario MakeRosebudScenario(TimeMs start) {
+  RosebudScenario scenario;
+  ScenarioBuilder b(start);
+
+  // The user searches the web for "rosebud"...
+  uint64_t search = b.Search(1, scenario.query);
+  b.Wait(util::Seconds(1));
+  scenario.results_url = "https://search.example/results?q=rosebud";
+  uint64_t results =
+      b.Visit(1, scenario.results_url, "rosebud - search results",
+              NavigationAction::kSearchResult, 0, search);
+  // ... and navigates to a result. Crucially, the film page's own title
+  // and URL do not contain the search term.
+  b.Wait(util::Seconds(8));
+  scenario.target_url = "http://films.example/citizen-kane";
+  scenario.target_title = "citizen kane 1941 film";
+  scenario.target_visit =
+      b.Visit(1, scenario.target_url, scenario.target_title,
+              NavigationAction::kLink, results);
+  b.Wait(util::Minutes(4));
+  b.Close(1, scenario.target_visit);
+
+  scenario.events = std::move(b.events());
+  return scenario;
+}
+
+GardenerScenario MakeGardenerScenario(int episodes, TimeMs start) {
+  GardenerScenario scenario;
+  ScenarioBuilder b(start);
+  // Any horticulture word from the context pages' titles or URLs is a
+  // correct augmentation (the paper's example picks "flower").
+  scenario.expected_context_terms = {"flower", "garden", "pruning",
+                                     "roses",  "guide",  "beds",
+                                     "soil",   "rose",   "care"};
+  for (int e = 0; e < episodes; ++e) {
+    // The gardener's rosebud searches land on horticulture pages whose
+    // titles carry the flower-context vocabulary.
+    uint64_t search = b.Search(1, scenario.ambiguous_query);
+    b.Wait(util::Seconds(1));
+    uint64_t results = b.Visit(
+        1, "https://search.example/results?q=rosebud",
+        "rosebud - search results", NavigationAction::kSearchResult, 0,
+        search);
+    b.Wait(util::Seconds(5));
+    std::string url = util::StrFormat(
+        "http://garden-%d.example/rose-care/p%d", e, e);
+    std::string title = util::StrFormat(
+        "flower garden pruning roses guide %d", e);
+    uint64_t page =
+        b.Visit(1, url, title, NavigationAction::kLink, results);
+    b.Wait(util::Minutes(3));
+    // She often reads a second flower page from there.
+    uint64_t follow = b.Visit(
+        1, util::StrFormat("http://garden-%d.example/flower-beds", e),
+        "flower beds and garden soil", NavigationAction::kLink, page);
+    b.Wait(util::Minutes(2));
+    b.Close(1, follow);
+    b.Wait(util::Hours(20));
+  }
+  scenario.events = std::move(b.events());
+  return scenario;
+}
+
+WineScenario MakeWineScenario(int decoys, TimeMs start) {
+  WineScenario scenario;
+  ScenarioBuilder b(start);
+
+  // Decoy wine pages at unrelated times.
+  for (int d = 0; d < decoys; ++d) {
+    std::string url =
+        util::StrFormat("http://wine-blog.example/notes/%d", d);
+    scenario.decoy_wine_urls.push_back(url);
+    uint64_t visit = b.Visit(
+        1, url, util::StrFormat("wine tasting notes %d", d),
+        NavigationAction::kTyped);
+    b.Wait(util::Minutes(2));
+    b.Close(1, visit);
+    b.Wait(util::Hours(7));
+  }
+
+  // The episode she remembers: wine page open WHILE booking flights.
+  uint64_t flights = b.Visit(2, "http://airline.example/booking",
+                             "plane tickets flight booking",
+                             NavigationAction::kTyped);
+  b.Wait(util::Minutes(1));
+  scenario.target_url = "http://vineyard.example/rare-bottle";
+  uint64_t wine = b.Visit(1, scenario.target_url,
+                          "rare wine bottle vintage",
+                          NavigationAction::kTyped);
+  b.Wait(util::Minutes(9));  // both open together
+  b.Close(1, wine);
+  b.Wait(util::Minutes(2));
+  b.Close(2, flights);
+
+  // More decoys afterwards.
+  b.Wait(util::Hours(30));
+  for (int d = 0; d < decoys / 2; ++d) {
+    std::string url =
+        util::StrFormat("http://wine-shop.example/cellar/%d", d);
+    scenario.decoy_wine_urls.push_back(url);
+    uint64_t visit = b.Visit(
+        1, url, util::StrFormat("wine cellar catalog %d", d),
+        NavigationAction::kTyped);
+    b.Wait(util::Minutes(3));
+    b.Close(1, visit);
+    b.Wait(util::Hours(9));
+  }
+
+  scenario.events = std::move(b.events());
+  return scenario;
+}
+
+MalwareScenario MakeMalwareScenario(int portal_visits, TimeMs start) {
+  MalwareScenario scenario;
+  ScenarioBuilder b(start);
+  scenario.portal_url = "http://news-portal.example/front";
+
+  // Build recognizability: the user visits the portal daily.
+  uint64_t portal = 0;
+  for (int v = 0; v < portal_visits - 1; ++v) {
+    portal = b.Visit(1, scenario.portal_url, "daily news portal",
+                     NavigationAction::kTyped);
+    b.Wait(util::Minutes(5));
+    b.Close(1, portal);
+    b.Wait(util::Hours(22));
+  }
+
+  // The infection chain: portal -> shortener redirect -> unfamiliar blog
+  // -> "codec" download.
+  portal = b.Visit(1, scenario.portal_url, "daily news portal",
+                   NavigationAction::kTyped);
+  b.Wait(util::Seconds(30));
+  uint64_t shortener =
+      b.Visit(1, "http://sh.example/x9k2", "",
+              NavigationAction::kLink, portal);
+  b.Wait(util::Seconds(1));
+  scenario.untrusted_url = "http://free-codecs.example/player";
+  uint64_t sketchy = b.Visit(1, scenario.untrusted_url,
+                             "free video codec player download",
+                             NavigationAction::kRedirect, shortener);
+  b.Wait(util::Seconds(20));
+  uint64_t installer_page =
+      b.Visit(1, "http://free-codecs.example/player/get",
+              "download installer here", NavigationAction::kLink, sketchy);
+  b.Wait(util::Seconds(10));
+  scenario.download_target = "/home/user/Downloads/codec-installer.exe";
+  scenario.download_id =
+      b.Download("http://free-codecs.example/files/codec-installer.exe",
+                 scenario.download_target, installer_page);
+  scenario.chain_urls = {scenario.portal_url, "http://sh.example/x9k2",
+                         scenario.untrusted_url,
+                         "http://free-codecs.example/player/get"};
+
+  // A second download descending from the same untrusted page, days
+  // later (for the "find all downloads descending from it" query).
+  b.Wait(util::Days(2));
+  uint64_t sketchy_again = b.Visit(1, scenario.untrusted_url,
+                                   "free video codec player download",
+                                   NavigationAction::kTyped);
+  b.Wait(util::Seconds(15));
+  uint64_t extras = b.Visit(1, "http://free-codecs.example/extras",
+                            "bonus packs", NavigationAction::kLink,
+                            sketchy_again);
+  b.Wait(util::Seconds(5));
+  scenario.second_download_id =
+      b.Download("http://free-codecs.example/files/bonus-pack.exe",
+                 "/home/user/Downloads/bonus-pack.exe", extras);
+  b.Close(1, extras);
+
+  scenario.events = std::move(b.events());
+  return scenario;
+}
+
+}  // namespace bp::sim

@@ -1,0 +1,110 @@
+// Planted scenarios: hand-constructed event streams reproducing the four
+// use-case narratives of Section 2 with exact ground truth. The quality
+// benches run them embedded in realistic simulator noise; the integration
+// tests run them alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "capture/events.hpp"
+#include "util/time.hpp"
+
+namespace bp::sim {
+
+using capture::BrowserEvent;
+using util::TimeMs;
+
+// Low-level helper for scripting event streams by hand.
+class ScenarioBuilder {
+ public:
+  explicit ScenarioBuilder(TimeMs start = util::Days(1),
+                           uint64_t first_id = 1000000)
+      : now_(start), next_id_(first_id) {}
+
+  // Advances the clock.
+  ScenarioBuilder& Wait(TimeMs delta) {
+    now_ += delta;
+    return *this;
+  }
+  TimeMs now() const { return now_; }
+
+  // Emitters return the stream id they assigned.
+  uint64_t Visit(uint64_t tab, std::string url, std::string title,
+                 capture::NavigationAction action, uint64_t referrer = 0,
+                 uint64_t search_id = 0, uint64_t bookmark_id = 0,
+                 uint64_t form_id = 0);
+  uint64_t Search(uint64_t tab, std::string query, uint64_t from_visit = 0);
+  uint64_t BookmarkAdd(std::string url, std::string title,
+                       uint64_t from_visit);
+  uint64_t Download(std::string url, std::string target,
+                    uint64_t from_visit);
+  uint64_t FormSubmit(std::string summary, uint64_t from_visit);
+  void Close(uint64_t tab, uint64_t visit);
+
+  std::vector<BrowserEvent>& events() { return events_; }
+
+ private:
+  TimeMs now_;
+  uint64_t next_id_;
+  std::vector<BrowserEvent> events_;
+};
+
+// --- Use case 2.1: contextual history search -------------------------
+// Searches "rosebud", clicks through the results page to the Citizen
+// Kane article (whose own text does NOT contain "rosebud"). target_url
+// is what a provenance-aware history search for "rosebud" must find.
+struct RosebudScenario {
+  std::vector<BrowserEvent> events;
+  std::string query = "rosebud";
+  std::string results_url;
+  std::string target_url;   // the Citizen Kane page
+  std::string target_title;
+  uint64_t target_visit = 0;
+};
+RosebudScenario MakeRosebudScenario(TimeMs start = util::Days(1));
+
+// --- Use case 2.2: personalizing web search ---------------------------
+// A gardener's history: searches that pair "rosebud" with flower pages.
+// A provenance-aware browser should learn to augment the ambiguous query
+// "rosebud" with "flower"-context terms.
+struct GardenerScenario {
+  std::vector<BrowserEvent> events;
+  std::string ambiguous_query = "rosebud";
+  // Terms that occur on the pages the gardener reached via rosebud
+  // searches; a good augmentation picks one of these.
+  std::vector<std::string> expected_context_terms;
+};
+GardenerScenario MakeGardenerScenario(int episodes = 4,
+                                      TimeMs start = util::Days(1));
+
+// --- Use case 2.3: time-contextual history search ---------------------
+// The wine page seen while booking plane tickets, plus decoy wine pages
+// at other times.
+struct WineScenario {
+  std::vector<BrowserEvent> events;
+  std::string wine_query = "wine";
+  std::string context_query = "plane tickets";
+  std::string target_url;  // the wine page co-open with plane tickets
+  std::vector<std::string> decoy_wine_urls;
+};
+WineScenario MakeWineScenario(int decoys = 6, TimeMs start = util::Days(1));
+
+// --- Use case 2.4: download lineage ------------------------------------
+// A familiar portal (visited many times) leads through a redirect and an
+// unfamiliar page to a malicious download; a second download descends
+// from the same untrusted page.
+struct MalwareScenario {
+  std::vector<BrowserEvent> events;
+  std::string portal_url;     // the recognizable ancestor
+  std::string untrusted_url;  // the page to query descendants of
+  std::string download_target;
+  uint64_t download_id = 0;
+  uint64_t second_download_id = 0;
+  std::vector<std::string> chain_urls;  // portal ... trigger
+};
+MalwareScenario MakeMalwareScenario(int portal_visits = 8,
+                                    TimeMs start = util::Days(1));
+
+}  // namespace bp::sim

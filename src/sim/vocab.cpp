@@ -1,0 +1,113 @@
+#include "sim/vocab.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace bp::sim {
+
+using util::Rng;
+
+namespace {
+
+// Pseudo-word generator: alternating consonant/vowel clusters, 2-4
+// syllables. Deterministic per RNG stream, collision-free enough that
+// duplicates within a topic are simply re-rolled.
+const char* const kOnsets[] = {"b",  "br", "c",  "cl", "d",  "dr", "f",
+                               "fl", "g",  "gr", "h",  "j",  "k",  "l",
+                               "m",  "n",  "p",  "pl", "qu", "r",  "s",
+                               "st", "t",  "tr", "v",  "w",  "z"};
+const char* const kVowels[] = {"a", "e", "i", "o", "u", "ai", "ea", "ou"};
+
+std::string MakeWord(Rng& rng) {
+  const size_t syllables = 2 + rng.Uniform(3);
+  std::string word;
+  for (size_t s = 0; s < syllables; ++s) {
+    word += kOnsets[rng.Uniform(std::size(kOnsets))];
+    word += kVowels[rng.Uniform(std::size(kVowels))];
+  }
+  return word;
+}
+
+}  // namespace
+
+Vocabulary Vocabulary::Create(Rng& rng, const VocabConfig& config) {
+  BP_REQUIRE(config.topics >= 1);
+  BP_REQUIRE(config.shared_fraction >= 0.0 && config.shared_fraction < 1.0);
+  Vocabulary vocab;
+  vocab.topics_.resize(config.topics);
+
+  // Unique base terms per topic.
+  std::unordered_map<std::string, uint32_t> claimed;
+  for (uint32_t t = 0; t < config.topics; ++t) {
+    Rng topic_rng = rng.Fork(1000 + t);
+    auto& terms = vocab.topics_[t];
+    while (terms.size() < config.terms_per_topic) {
+      std::string word = MakeWord(topic_rng);
+      if (claimed.emplace(word, t).second) {
+        terms.push_back(word);
+      }
+    }
+  }
+
+  // Ambiguity: pair topic t with topic (t+1) mod n and replace the tail
+  // of t's term list with words from its partner's head — those words
+  // now genuinely occur in both topics' pages.
+  if (config.topics >= 2 && config.shared_fraction > 0.0) {
+    const size_t shared =
+        std::max<size_t>(1, static_cast<size_t>(config.terms_per_topic *
+                                                config.shared_fraction));
+    for (uint32_t t = 0; t < config.topics; ++t) {
+      uint32_t partner = (t + 1) % config.topics;
+      for (size_t i = 0; i < shared; ++i) {
+        // Partner's "household" words (low indexes) are the most
+        // interesting collisions; skip index 0 to keep each topic's very
+        // top term unambiguous.
+        const std::string& borrowed = vocab.topics_[partner][1 + i];
+        vocab.topics_[t][config.terms_per_topic - 1 - i] = borrowed;
+      }
+    }
+  }
+
+  for (uint32_t t = 0; t < config.topics; ++t) {
+    for (const std::string& term : vocab.topics_[t]) {
+      auto& list = vocab.term_topics_[term];
+      if (std::find(list.begin(), list.end(), t) == list.end()) {
+        list.push_back(t);
+      }
+    }
+  }
+  for (const auto& [term, topics] : vocab.term_topics_) {
+    if (topics.size() > 1) vocab.ambiguous_[term] = topics;
+  }
+  return vocab;
+}
+
+std::vector<uint32_t> Vocabulary::TopicsOf(const std::string& term) const {
+  auto it = term_topics_.find(term);
+  if (it == term_topics_.end()) return {};
+  return it->second;
+}
+
+std::vector<std::string> Vocabulary::SampleTerms(Rng& rng, uint32_t topic,
+                                                 size_t n) const {
+  const auto& terms = topics_.at(topic);
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(terms[rng.Zipf(terms.size(), 1.1)]);
+  }
+  return out;
+}
+
+std::string Vocabulary::MakeTitle(Rng& rng, uint32_t topic) const {
+  const size_t words = 2 + rng.Uniform(3);
+  std::string title;
+  for (const std::string& term : SampleTerms(rng, topic, words)) {
+    if (!title.empty()) title += ' ';
+    title += term;
+  }
+  return title;
+}
+
+}  // namespace bp::sim

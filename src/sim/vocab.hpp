@@ -1,0 +1,59 @@
+// Topic vocabulary for the synthetic web.
+//
+// Terms are pronounceable pseudo-words generated deterministically per
+// topic. A configurable fraction of terms is *shared* between topic
+// pairs — ambiguous words like the paper's "rosebud", which names both a
+// sled (movies) and a flower (gardening). The personalized-web-search
+// experiment (E5) needs such collisions to exist by construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace bp::sim {
+
+struct VocabConfig {
+  uint32_t topics = 8;
+  uint32_t terms_per_topic = 120;
+  // Fraction of each topic's terms drawn from a global ambiguous pool
+  // shared with one partner topic.
+  double shared_fraction = 0.05;
+};
+
+class Vocabulary {
+ public:
+  static Vocabulary Create(util::Rng& rng, const VocabConfig& config);
+
+  uint32_t topic_count() const { return static_cast<uint32_t>(topics_.size()); }
+  const std::vector<std::string>& TopicTerms(uint32_t topic) const {
+    return topics_.at(topic);
+  }
+
+  // Terms appearing in more than one topic, with the topics they span.
+  const std::unordered_map<std::string, std::vector<uint32_t>>&
+  ambiguous_terms() const {
+    return ambiguous_;
+  }
+
+  // All topics a term belongs to (empty if unknown).
+  std::vector<uint32_t> TopicsOf(const std::string& term) const;
+
+  // Draws n terms from a topic (Zipf-weighted: low-index terms are the
+  // topic's "household words").
+  std::vector<std::string> SampleTerms(util::Rng& rng, uint32_t topic,
+                                       size_t n) const;
+
+  // A human-ish page title for a topic: 2-4 sampled terms.
+  std::string MakeTitle(util::Rng& rng, uint32_t topic) const;
+
+ private:
+  std::vector<std::vector<std::string>> topics_;
+  std::unordered_map<std::string, std::vector<uint32_t>> term_topics_;
+  std::unordered_map<std::string, std::vector<uint32_t>> ambiguous_;
+};
+
+}  // namespace bp::sim

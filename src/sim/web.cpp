@@ -1,0 +1,179 @@
+#include "sim/web.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/require.hpp"
+#include "util/strings.hpp"
+
+namespace bp::sim {
+
+using util::Rng;
+
+WebGraph WebGraph::Generate(Rng& rng, const WebConfig& config,
+                            const Vocabulary& vocab) {
+  WebGraph web;
+  web.vocab_ = &vocab;
+  web.topic_pages_.resize(vocab.topic_count());
+
+  // ---- pages ----
+  for (uint32_t topic = 0; topic < vocab.topic_count(); ++topic) {
+    Rng topic_rng = rng.Fork(7000 + topic);
+    for (uint32_t site = 0; site < config.sites_per_topic; ++site) {
+      // Site hostname from the topic's top terms.
+      std::string host = util::StrFormat(
+          "%s-%u.example",
+          vocab.TopicTerms(topic)[site % vocab.TopicTerms(topic).size()]
+              .c_str(),
+          site);
+      for (uint32_t p = 0; p < config.pages_per_site; ++p) {
+        SimPage page;
+        page.topic = topic;
+        page.site = topic * config.sites_per_topic + site;
+        page.title = vocab.MakeTitle(topic_rng, topic);
+        std::string slug;
+        for (char c : page.title) slug += c == ' ' ? '-' : c;
+        page.url = util::StrFormat("http://%s/%s/p%u", host.c_str(),
+                                   slug.c_str(), p);
+        page.content_terms = vocab.SampleTerms(topic_rng, topic, 20);
+        page.popularity = 1.0 / (1.0 + topic_rng.Exponential(0.5));
+        if (topic_rng.Bernoulli(config.download_page_fraction)) {
+          page.has_download = true;
+          page.download_url =
+              util::StrFormat("http://%s/files/%s-v%u.zip", host.c_str(),
+                              page.content_terms[0].c_str(),
+                              (unsigned)topic_rng.Uniform(9) + 1);
+        }
+        if (topic_rng.Bernoulli(config.form_page_fraction)) {
+          page.has_form = true;
+        }
+        if (topic_rng.Bernoulli(config.embed_fraction)) {
+          size_t n = 1 + topic_rng.Uniform(3);
+          for (size_t e = 0; e < n; ++e) {
+            page.embed_urls.push_back(util::StrFormat(
+                "http://cdn-%u.example/img/%s-%zu.png", topic,
+                page.content_terms[e % page.content_terms.size()].c_str(),
+                e));
+          }
+        }
+        PageIndex index = static_cast<PageIndex>(web.pages_.size());
+        web.pages_.push_back(std::move(page));
+        web.topic_pages_[topic].push_back(index);
+      }
+    }
+  }
+
+  // ---- links ----
+  for (PageIndex i = 0; i < web.pages_.size(); ++i) {
+    SimPage& page = web.pages_[i];
+    Rng link_rng = rng.Fork(90000 + i);
+    const auto& same_topic = web.topic_pages_[page.topic];
+    const uint32_t n_links =
+        config.min_links +
+        static_cast<uint32_t>(
+            link_rng.Uniform(config.max_links - config.min_links + 1));
+    std::unordered_set<PageIndex> chosen;
+    for (uint32_t l = 0; l < n_links; ++l) {
+      PageIndex target;
+      if (link_rng.Bernoulli(config.cross_topic_link_prob)) {
+        target = static_cast<PageIndex>(
+            link_rng.Uniform(web.pages_.size()));
+      } else if (link_rng.Bernoulli(config.cross_site_link_prob)) {
+        target = same_topic[link_rng.Uniform(same_topic.size())];
+      } else {
+        // Same site: site pages are contiguous.
+        PageIndex base = i - (i % config.pages_per_site);
+        target = base + static_cast<PageIndex>(
+                            link_rng.Uniform(config.pages_per_site));
+      }
+      if (target != i && chosen.insert(target).second) {
+        page.links.push_back(target);
+      }
+    }
+  }
+
+  // ---- redirects ----
+  // A fraction of pages becomes pure redirectors in front of a same-topic
+  // target (tracking/shortener hops).
+  for (uint32_t topic = 0; topic < vocab.topic_count(); ++topic) {
+    Rng redirect_rng = rng.Fork(130000 + topic);
+    const auto& pages = web.topic_pages_[topic];
+    for (PageIndex index : pages) {
+      if (!redirect_rng.Bernoulli(config.redirect_page_fraction)) continue;
+      SimPage& page = web.pages_[index];
+      PageIndex target = pages[redirect_rng.Uniform(pages.size())];
+      if (target == index) continue;
+      page.redirect_target = target;
+      page.has_download = false;
+      page.has_form = false;
+      page.embed_urls.clear();
+      page.url = util::StrFormat("http://go-%u.example/r/%u", topic, index);
+      page.title = "";  // redirectors have no user-visible title
+    }
+  }
+
+  // ---- engine index ----
+  for (PageIndex i = 0; i < web.pages_.size(); ++i) {
+    const SimPage& page = web.pages_[i];
+    if (page.redirect_target.has_value()) continue;  // engine skips them
+    std::unordered_set<std::string> seen;
+    for (const std::string& term : page.content_terms) {
+      if (seen.insert(term).second) web.term_index_[term].push_back(i);
+    }
+  }
+  for (PageIndex i = 0; i < web.pages_.size(); ++i) {
+    web.by_url_[web.pages_[i].url] = i;
+  }
+  return web;
+}
+
+std::optional<PageIndex> WebGraph::FindByUrl(const std::string& url) const {
+  auto it = by_url_.find(url);
+  if (it == by_url_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<SearchResult> WebGraph::Search(
+    const std::vector<std::string>& query_terms, size_t k) const {
+  std::unordered_map<PageIndex, double> scores;
+  for (const std::string& term : query_terms) {
+    auto it = term_index_.find(term);
+    if (it == term_index_.end()) continue;
+    // Fewer matching pages -> more specific term -> higher weight.
+    const double idf = 1.0 / (1.0 + std::log(1.0 + it->second.size()));
+    for (PageIndex p : it->second) {
+      const SimPage& page = pages_[p];
+      double title_bonus =
+          page.title.find(term) != std::string::npos ? 3.0 : 1.0;
+      scores[p] += idf * title_bonus * page.popularity;
+    }
+  }
+  std::vector<SearchResult> ranked;
+  ranked.reserve(scores.size());
+  for (const auto& [page, score] : scores) {
+    ranked.push_back(SearchResult{page, score});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const SearchResult& a, const SearchResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.page < b.page;
+            });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+std::string WebGraph::ResultsUrl(const std::string& query) {
+  std::string escaped;
+  for (char c : query) escaped += c == ' ' ? '+' : c;
+  return "https://search.example/results?q=" + escaped;
+}
+
+PageIndex WebGraph::SamplePageInTopic(Rng& rng, uint32_t topic) const {
+  const auto& pages = topic_pages_.at(topic);
+  BP_REQUIRE(!pages.empty());
+  // Zipf over the topic's pages: users revisit a few favorites.
+  return pages[rng.Zipf(pages.size(), 1.2)];
+}
+
+}  // namespace bp::sim

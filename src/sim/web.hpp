@@ -1,0 +1,97 @@
+// Synthetic web: sites, pages, links, redirects, embedded content,
+// downloadable resources, and a search engine.
+//
+// This stands in for the real web the paper's author browsed for 79
+// days. It reproduces the structural features the experiments need:
+// topic-clustered link neighborhoods, redirect hops in front of pages,
+// embedded content fetched alongside top-level pages, download links at
+// the end of referral chains, and an engine whose result pages link to
+// content pages (the "rosebud -> Citizen Kane" shape).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/vocab.hpp"
+#include "util/rng.hpp"
+
+namespace bp::sim {
+
+using PageIndex = uint32_t;
+constexpr PageIndex kNoPageIndex = UINT32_MAX;
+
+struct SimPage {
+  std::string url;
+  std::string title;
+  uint32_t topic = 0;
+  uint32_t site = 0;
+  std::vector<std::string> content_terms;  // body text (for the engine)
+  std::vector<PageIndex> links;            // outgoing hyperlinks
+  // When set, visiting this page immediately redirects to `target`.
+  std::optional<PageIndex> redirect_target;
+  std::vector<std::string> embed_urls;  // images/iframes loaded with it
+  bool has_download = false;
+  std::string download_url;  // resource URL when has_download
+  bool has_form = false;     // page with a submittable form
+  double popularity = 1.0;   // global engine-side prior
+};
+
+struct WebConfig {
+  uint32_t sites_per_topic = 6;
+  uint32_t pages_per_site = 40;
+  double redirect_page_fraction = 0.06;
+  double download_page_fraction = 0.05;
+  double form_page_fraction = 0.05;
+  double embed_fraction = 0.3;  // pages that pull embedded content
+  uint32_t min_links = 3;
+  uint32_t max_links = 8;
+  double cross_site_link_prob = 0.15;  // link leaves the site
+  double cross_topic_link_prob = 0.05; // ... and the topic
+};
+
+struct SearchResult {
+  PageIndex page = kNoPageIndex;
+  double score = 0.0;
+};
+
+class WebGraph {
+ public:
+  static WebGraph Generate(util::Rng& rng, const WebConfig& config,
+                           const Vocabulary& vocab);
+
+  const SimPage& page(PageIndex index) const { return pages_.at(index); }
+  size_t page_count() const { return pages_.size(); }
+  const Vocabulary& vocab() const { return *vocab_; }
+
+  std::optional<PageIndex> FindByUrl(const std::string& url) const;
+
+  // The search engine: ranks pages by query-term matches in title (x3)
+  // and content, scaled by global popularity. Deterministic.
+  std::vector<SearchResult> Search(
+      const std::vector<std::string>& query_terms, size_t k) const;
+
+  // URL of the engine's results page for a query string.
+  static std::string ResultsUrl(const std::string& query);
+
+  // A page the engine would rank well for `topic` (used by the user
+  // model to pick navigation targets).
+  PageIndex SamplePageInTopic(util::Rng& rng, uint32_t topic) const;
+
+  // Pages of one topic (indexes).
+  const std::vector<PageIndex>& TopicPages(uint32_t topic) const {
+    return topic_pages_.at(topic);
+  }
+
+ private:
+  std::vector<SimPage> pages_;
+  std::vector<std::vector<PageIndex>> topic_pages_;
+  std::unordered_map<std::string, PageIndex> by_url_;
+  // term -> pages containing it (engine's index).
+  std::unordered_map<std::string, std::vector<PageIndex>> term_index_;
+  const Vocabulary* vocab_ = nullptr;
+};
+
+}  // namespace bp::sim

@@ -1,0 +1,126 @@
+// Disk-resident B+tree over the pager.
+//
+// Keys and values are arbitrary byte strings ordered lexicographically
+// (callers use util::OrderedKeyU64 and friends for numeric components).
+// Values larger than the inline cell budget spill to an overflow-page
+// chain, so values are unbounded; keys are capped at kMaxKeySize.
+//
+// Structure: slotted pages. Leaves carry (key, value) cells and are
+// doubly linked for range scans; interior nodes carry (separator, child)
+// cells plus a rightmost child, where child subtrees hold keys <= their
+// separator. The root page id is stable for the life of the tree: when
+// the root splits its content moves to fresh children and the root is
+// rewritten in place, so the catalog never needs updating after create.
+//
+// Deletion frees emptied pages and collapses empty interior nodes but
+// does not rebalance underfull siblings — the workloads here (history
+// stores) are append-mostly, so partial space reuse via the freelist is
+// the right cost/complexity point. Mutating the tree invalidates open
+// cursors.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "storage/pager.hpp"
+#include "util/status.hpp"
+
+namespace bp::storage {
+
+constexpr size_t kMaxKeySize = 512;
+
+struct TreeStats {
+  uint64_t leaf_pages = 0;
+  uint64_t interior_pages = 0;
+  uint64_t overflow_pages = 0;
+  uint64_t cells = 0;       // live leaf cells (== record count)
+  uint64_t key_bytes = 0;   // sum of live key lengths
+  uint64_t value_bytes = 0; // sum of live value lengths (incl. overflow)
+  uint32_t depth = 0;       // 1 = root-only
+
+  uint64_t TotalPages() const {
+    return leaf_pages + interior_pages + overflow_pages;
+  }
+  uint64_t TotalBytes() const { return TotalPages() * kPageSize; }
+};
+
+class BTree {
+ public:
+  // Allocates an empty tree (a single leaf root). Must run inside an open
+  // transaction; the returned root id is what the catalog persists.
+  static util::Result<PageId> Create(Pager& pager);
+
+  BTree(Pager& pager, PageId root) : pager_(pager), root_(root) {}
+
+  // Inserts or replaces. Key must be non-empty and <= kMaxKeySize.
+  util::Status Put(std::string_view key, std::string_view value);
+
+  // NotFound when absent.
+  util::Result<std::string> Get(std::string_view key) const;
+
+  util::Result<bool> Contains(std::string_view key) const;
+
+  // NotFound when absent.
+  util::Status Delete(std::string_view key);
+
+  // Frees every page of the tree including the root (used by DropTree).
+  // The tree must not be used afterwards.
+  util::Status FreeAllPages();
+
+  // Full scan in key order. `fn` returns false to stop early.
+  util::Status ForEach(
+      const std::function<bool(std::string_view key,
+                               std::string_view value)>& fn) const;
+
+  // Scan all entries whose key starts with `prefix`, in key order.
+  util::Status ForEachPrefix(
+      std::string_view prefix,
+      const std::function<bool(std::string_view key,
+                               std::string_view value)>& fn) const;
+
+  // Scan keys in [lo, hi). Empty `hi` means "to the end".
+  util::Status ForEachRange(
+      std::string_view lo, std::string_view hi,
+      const std::function<bool(std::string_view key,
+                               std::string_view value)>& fn) const;
+
+  util::Result<uint64_t> Count() const;
+  util::Result<TreeStats> Stats() const;
+
+  PageId root() const { return root_; }
+
+ private:
+  struct SplitResult {
+    bool split = false;
+    std::string separator;  // max key remaining in the original page
+    PageId new_right = kNoPage;
+  };
+  struct DescentRef {
+    PageId page = kNoPage;
+    // Index of the followed child cell, or == ncells for the rightmost
+    // (aux) child.
+    uint32_t ref_index = 0;
+  };
+
+  util::Result<SplitResult> InsertRec(PageId page_id, std::string_view key,
+                                      std::string_view value);
+  util::Status SplitRootIfNeeded(const SplitResult& split);
+
+  util::Result<PageId> WriteOverflowChain(std::string_view value);
+  util::Result<std::string> ReadOverflowChain(PageId first,
+                                              uint64_t total_len) const;
+  util::Status FreeOverflowChain(PageId first);
+  util::Status FreeLeafCellPayload(std::string_view cell);
+
+  util::Result<PageId> LeafForKey(std::string_view key,
+                                  std::vector<DescentRef>* path) const;
+
+  Pager& pager_;
+  PageId root_;
+};
+
+}  // namespace bp::storage

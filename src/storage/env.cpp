@@ -1,0 +1,178 @@
+#include "storage/env.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/strings.hpp"
+
+namespace bp::storage {
+
+namespace {
+
+Status ErrnoStatus(const char* op, const std::string& name) {
+  return Status::IoError(
+      util::StrFormat("%s %s: %s", op, name.c_str(), std::strerror(errno)));
+}
+
+class PosixFile : public File {
+ public:
+  PosixFile(int fd, std::string name) : fd_(fd), name_(std::move(name)) {}
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  PosixFile(const PosixFile&) = delete;
+  PosixFile& operator=(const PosixFile&) = delete;
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    out->resize(n);
+    size_t done = 0;
+    while (done < n) {
+      ssize_t r = ::pread(fd_, out->data() + done, n - done,
+                          static_cast<off_t>(offset + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("pread", name_);
+      }
+      if (r == 0) {
+        return done == 0 ? Status::OutOfRange("read past EOF")
+                         : Status::IoError("short read: " + name_);
+      }
+      done += static_cast<size_t>(r);
+    }
+    return Status::Ok();
+  }
+
+  Status Write(uint64_t offset, std::string_view data) override {
+    size_t done = 0;
+    while (done < data.size()) {
+      ssize_t w = ::pwrite(fd_, data.data() + done, data.size() - done,
+                           static_cast<off_t>(offset + done));
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("pwrite", name_);
+      }
+      done += static_cast<size_t>(w);
+    }
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync", name_);
+    return Status::Ok();
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return ErrnoStatus("ftruncate", name_);
+    }
+    return Status::Ok();
+  }
+
+  Result<uint64_t> Size() const override {
+    off_t end = ::lseek(fd_, 0, SEEK_END);
+    if (end < 0) return ErrnoStatus("lseek", name_);
+    return static_cast<uint64_t>(end);
+  }
+
+ private:
+  int fd_;
+  std::string name_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<File>> Open(const std::string& name) override {
+    int fd = ::open(name.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd < 0) return ErrnoStatus("open", name);
+    return {std::unique_ptr<File>(new PosixFile(fd, name))};
+  }
+
+  Status Remove(const std::string& name) override {
+    if (::unlink(name.c_str()) != 0 && errno != ENOENT) {
+      return ErrnoStatus("unlink", name);
+    }
+    return Status::Ok();
+  }
+
+  bool Exists(const std::string& name) const override {
+    return ::access(name.c_str(), F_OK) == 0;
+  }
+};
+
+class MemFile : public File {
+ public:
+  explicit MemFile(std::shared_ptr<std::string> content)
+      : content_(std::move(content)) {}
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    const std::string& c = *content_;
+    if (offset >= c.size()) return Status::OutOfRange("read past EOF");
+    if (offset + n > c.size()) return Status::IoError("short read (mem)");
+    out->assign(c, offset, n);
+    return Status::Ok();
+  }
+
+  Status Write(uint64_t offset, std::string_view data) override {
+    std::string& c = *content_;
+    if (offset + data.size() > c.size()) c.resize(offset + data.size());
+    c.replace(offset, data.size(), data);
+    return Status::Ok();
+  }
+
+  Status Sync() override { return Status::Ok(); }
+
+  Status Truncate(uint64_t size) override {
+    content_->resize(size);
+    return Status::Ok();
+  }
+
+  Result<uint64_t> Size() const override {
+    return static_cast<uint64_t>(content_->size());
+  }
+
+ private:
+  std::shared_ptr<std::string> content_;
+};
+
+}  // namespace
+
+Env* Env::Posix() {
+  static PosixEnv env;
+  return &env;
+}
+
+Result<std::unique_ptr<File>> MemEnv::Open(const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    it = files_.emplace(name, std::make_shared<std::string>()).first;
+  }
+  return {std::unique_ptr<File>(new MemFile(it->second))};
+}
+
+Status MemEnv::Remove(const std::string& name) {
+  files_.erase(name);
+  return Status::Ok();
+}
+
+bool MemEnv::Exists(const std::string& name) const {
+  return files_.count(name) > 0;
+}
+
+std::map<std::string, std::string> MemEnv::SnapshotAll() const {
+  std::map<std::string, std::string> out;
+  for (const auto& [name, content] : files_) out[name] = *content;
+  return out;
+}
+
+void MemEnv::RestoreAll(const std::map<std::string, std::string>& snapshot) {
+  files_.clear();
+  for (const auto& [name, content] : snapshot) {
+    files_[name] = std::make_shared<std::string>(content);
+  }
+}
+
+}  // namespace bp::storage

@@ -1,0 +1,70 @@
+// Filesystem abstraction for the storage engine.
+//
+// PosixEnv talks to the real filesystem; MemEnv keeps files in memory and
+// is used by unit tests, property tests (including simulated crashes via
+// snapshots) and benchmarks that measure CPU rather than disk.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+
+namespace bp::storage {
+
+using bp::util::Result;
+using bp::util::Status;
+
+// Random-access file handle. Not thread-safe; the engine is single-writer.
+class File {
+ public:
+  virtual ~File() = default;
+
+  // Read exactly `n` bytes at `offset` into *out. Reading at or past EOF
+  // returns OutOfRange; a short read mid-file returns IoError.
+  virtual Status Read(uint64_t offset, size_t n, std::string* out) const = 0;
+
+  virtual Status Write(uint64_t offset, std::string_view data) = 0;
+  virtual Status Sync() = 0;
+  virtual Status Truncate(uint64_t size) = 0;
+  virtual Result<uint64_t> Size() const = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  // Opens for read/write, creating when absent.
+  virtual Result<std::unique_ptr<File>> Open(const std::string& name) = 0;
+  virtual Status Remove(const std::string& name) = 0;
+  virtual bool Exists(const std::string& name) const = 0;
+
+  // Process-wide POSIX environment (not owned by the caller).
+  static Env* Posix();
+};
+
+// In-memory environment. Multiple Open() calls on the same name share
+// content (as with a real filesystem), so a "reopened database" sees the
+// bytes the previous handle wrote.
+class MemEnv : public Env {
+ public:
+  Result<std::unique_ptr<File>> Open(const std::string& name) override;
+  Status Remove(const std::string& name) override;
+  bool Exists(const std::string& name) const override;
+
+  // Crash simulation support: capture the byte-exact state of every file,
+  // and restore it later — as if the machine lost power at the moment of
+  // the snapshot and rebooted.
+  std::map<std::string, std::string> SnapshotAll() const;
+  void RestoreAll(const std::map<std::string, std::string>& snapshot);
+
+ private:
+  // shared_ptr: open handles keep content alive across Remove (POSIX
+  // unlink semantics).
+  std::map<std::string, std::shared_ptr<std::string>> files_;
+};
+
+}  // namespace bp::storage

@@ -1,0 +1,465 @@
+#include "storage/pager.hpp"
+
+#include <algorithm>
+
+#include "util/hash.hpp"
+#include "util/require.hpp"
+#include "util/serde.hpp"
+#include "util/strings.hpp"
+
+namespace bp::storage {
+
+using util::Reader;
+using util::Result;
+using util::Status;
+using util::Writer;
+
+// ---------------------------------------------------------------- PageRef
+
+PageRef::PageRef(Pager* pager, internal::Frame* frame, bool writable)
+    : pager_(pager), frame_(frame), writable_(writable) {
+  ++frame_->pins;
+}
+
+PageRef::~PageRef() {
+  if (frame_ != nullptr) pager_->Unpin(frame_);
+}
+
+PageRef& PageRef::operator=(PageRef&& other) noexcept {
+  if (this != &other) {
+    if (frame_ != nullptr) pager_->Unpin(frame_);
+    pager_ = other.pager_;
+    frame_ = other.frame_;
+    writable_ = other.writable_;
+    other.pager_ = nullptr;
+    other.frame_ = nullptr;
+  }
+  return *this;
+}
+
+PageId PageRef::id() const {
+  BP_REQUIRE(valid());
+  return frame_->id;
+}
+
+const char* PageRef::data() const {
+  BP_REQUIRE(valid());
+  return frame_->data.data();
+}
+
+char* PageRef::mutable_data() {
+  BP_REQUIRE(valid() && writable_, "page not acquired via GetMutable");
+  return frame_->data.data();
+}
+
+// ----------------------------------------------------------------- Pager
+
+Result<std::unique_ptr<Pager>> Pager::Open(std::string path,
+                                           PagerOptions options) {
+  std::unique_ptr<Pager> pager(new Pager(std::move(path), options));
+  BP_ASSIGN_OR_RETURN(pager->file_, options.env->Open(pager->path_));
+
+  // A hot journal from a crashed commit must be rolled back before the
+  // header is trusted.
+  BP_RETURN_IF_ERROR(pager->RecoverFromJournal());
+
+  BP_ASSIGN_OR_RETURN(uint64_t size, pager->file_->Size());
+  if (size == 0) {
+    BP_RETURN_IF_ERROR(pager->InitializeNewDb());
+  } else {
+    if (size % kPageSize != 0) {
+      return Status::Corruption("database size is not a multiple of the "
+                                "page size: " +
+                                pager->path_);
+    }
+    BP_RETURN_IF_ERROR(pager->LoadHeader());
+  }
+  pager->committed_file_pages_ = pager->page_count_;
+  return pager;
+}
+
+Pager::~Pager() {
+  if (in_txn_) (void)Rollback();
+}
+
+Status Pager::InitializeNewDb() {
+  page_count_ = 1;  // header page
+  freelist_head_ = kNoPage;
+  freelist_count_ = 0;
+  catalog_root_ = kNoPage;
+  commit_seq_ = 0;
+
+  Writer w;
+  w.PutU32(kDbMagic);
+  w.PutU32(kDbVersion);
+  w.PutU32(kPageSize);
+  w.PutU32(page_count_);
+  w.PutU32(freelist_head_);
+  w.PutU32(freelist_count_);
+  w.PutU32(catalog_root_);
+  w.PutU64(commit_seq_);
+  std::string page(std::move(w).data());
+  page.resize(kPageSize, '\0');
+  BP_RETURN_IF_ERROR(file_->Write(0, page));
+  if (options_.sync) BP_RETURN_IF_ERROR(file_->Sync());
+  return Status::Ok();
+}
+
+Status Pager::LoadHeader() {
+  std::string raw;
+  BP_RETURN_IF_ERROR(file_->Read(0, kPageSize, &raw));
+  Reader r(raw);
+  uint32_t magic = r.ReadU32();
+  uint32_t version = r.ReadU32();
+  uint32_t page_size = r.ReadU32();
+  page_count_ = r.ReadU32();
+  freelist_head_ = r.ReadU32();
+  freelist_count_ = r.ReadU32();
+  catalog_root_ = r.ReadU32();
+  commit_seq_ = r.ReadU64();
+  if (!r.ok() || magic != kDbMagic) {
+    return Status::Corruption("bad database header: " + path_);
+  }
+  if (version != kDbVersion) {
+    return Status::InvalidArgument(
+        util::StrFormat("unsupported db version %u", version));
+  }
+  if (page_size != kPageSize) {
+    return Status::InvalidArgument(
+        util::StrFormat("page size mismatch: file %u, build %u", page_size,
+                        kPageSize));
+  }
+  if (page_count_ == 0) {
+    return Status::Corruption("zero page count: " + path_);
+  }
+  return Status::Ok();
+}
+
+Status Pager::WriteHeaderToFrame() {
+  BP_ASSIGN_OR_RETURN(PageRef ref, GetMutable(0));
+  Writer w;
+  w.PutU32(kDbMagic);
+  w.PutU32(kDbVersion);
+  w.PutU32(kPageSize);
+  w.PutU32(page_count_);
+  w.PutU32(freelist_head_);
+  w.PutU32(freelist_count_);
+  w.PutU32(catalog_root_);
+  w.PutU64(commit_seq_);
+  const std::string& bytes = w.data();
+  BP_CHECK(bytes.size() <= kPageSize);
+  std::copy(bytes.begin(), bytes.end(), ref.mutable_data());
+  return Status::Ok();
+}
+
+// Journal layout:
+//   header: magic u32, commit_seq u64, page_size u32, orig_page_count u32,
+//           entry_count u32
+//   entry:  page_id u32, page bytes [kPageSize], fnv1a64 checksum u64
+Status Pager::RecoverFromJournal() {
+  const std::string jpath = JournalPath();
+  if (!options_.env->Exists(jpath)) return Status::Ok();
+
+  BP_ASSIGN_OR_RETURN(std::unique_ptr<File> jf, options_.env->Open(jpath));
+  BP_ASSIGN_OR_RETURN(uint64_t jsize, jf->Size());
+
+  constexpr size_t kHeaderBytes = 4 + 8 + 4 + 4 + 4;
+  constexpr size_t kEntryBytes = 4 + kPageSize + 8;
+
+  bool valid = jsize >= kHeaderBytes;
+  uint32_t orig_page_count = 0;
+  uint32_t entry_count = 0;
+  std::string raw;
+  if (valid) {
+    BP_RETURN_IF_ERROR(jf->Read(0, jsize, &raw));
+    Reader r(raw);
+    uint32_t magic = r.ReadU32();
+    r.ReadU64();  // commit_seq (informational)
+    uint32_t page_size = r.ReadU32();
+    orig_page_count = r.ReadU32();
+    entry_count = r.ReadU32();
+    valid = r.ok() && magic == kJournalMagic && page_size == kPageSize &&
+            jsize >= kHeaderBytes + uint64_t{entry_count} * kEntryBytes;
+  }
+
+  if (valid && entry_count > 0) {
+    // The journal was fully written (entries checksum below), which means
+    // the crash happened while writing the database file: roll back.
+    Reader r(raw);
+    r.Skip(kHeaderBytes);
+    for (uint32_t i = 0; i < entry_count && valid; ++i) {
+      uint32_t page_id = r.ReadU32();
+      std::string_view data = r.ReadRaw(kPageSize);
+      uint64_t checksum = r.ReadU64();
+      if (!r.ok() || util::Fnv1a64(data) != checksum) {
+        valid = false;
+        break;
+      }
+      BP_RETURN_IF_ERROR(
+          file_->Write(uint64_t{page_id} * kPageSize, data));
+    }
+    if (valid) {
+      BP_RETURN_IF_ERROR(
+          file_->Truncate(uint64_t{orig_page_count} * kPageSize));
+      if (options_.sync) BP_RETURN_IF_ERROR(file_->Sync());
+    }
+  }
+  // Whether replayed or found incomplete (crash before the journal fsync,
+  // database untouched), the journal is now obsolete.
+  jf.reset();
+  return options_.env->Remove(jpath);
+}
+
+Status Pager::Begin() {
+  BP_REQUIRE(!in_txn_, "nested transactions are not supported");
+  in_txn_ = true;
+  before_images_.clear();
+  fresh_pages_.clear();
+  txn_orig_page_count_ = page_count_;
+  return Status::Ok();
+}
+
+Status Pager::Commit() {
+  BP_REQUIRE(in_txn_, "Commit outside a transaction");
+
+  // Collect dirty frames.
+  std::vector<internal::Frame*> dirty;
+  for (auto& [id, frame] : frames_) {
+    if (frame->dirty) dirty.push_back(frame.get());
+  }
+  if (dirty.empty()) {
+    in_txn_ = false;
+    ++stats_.commits;
+    return Status::Ok();
+  }
+  std::sort(dirty.begin(), dirty.end(),
+            [](const internal::Frame* a, const internal::Frame* b) {
+              return a->id < b->id;
+            });
+
+  // Phase 1: persist before-images so a mid-write crash can be undone.
+  if (!before_images_.empty()) {
+    Writer w;
+    w.PutU32(kJournalMagic);
+    w.PutU64(commit_seq_ + 1);
+    w.PutU32(kPageSize);
+    w.PutU32(txn_orig_page_count_);
+    w.PutU32(static_cast<uint32_t>(before_images_.size()));
+    for (const auto& [id, image] : before_images_) {
+      w.PutU32(id);
+      w.PutRaw(image);
+      w.PutU64(util::Fnv1a64(image));
+    }
+    BP_ASSIGN_OR_RETURN(std::unique_ptr<File> jf,
+                        options_.env->Open(JournalPath()));
+    BP_RETURN_IF_ERROR(jf->Truncate(0));
+    BP_RETURN_IF_ERROR(jf->Write(0, w.data()));
+    if (options_.sync) BP_RETURN_IF_ERROR(jf->Sync());
+  }
+
+  if (crash_after_journal_) {
+    // Simulated power loss: leave the hot journal and the (possibly
+    // partially updated) database file exactly as they are.
+    return Status::Aborted("simulated crash after journal sync");
+  }
+
+  // Phase 2: write dirty pages into the database file.
+  ++commit_seq_;
+  for (internal::Frame* frame : dirty) {
+    if (frame->id == 0) {
+      // Refresh the header bytes with the final committed field values.
+      Writer w;
+      w.PutU32(kDbMagic);
+      w.PutU32(kDbVersion);
+      w.PutU32(kPageSize);
+      w.PutU32(page_count_);
+      w.PutU32(freelist_head_);
+      w.PutU32(freelist_count_);
+      w.PutU32(catalog_root_);
+      w.PutU64(commit_seq_);
+      const std::string& bytes = w.data();
+      std::copy(bytes.begin(), bytes.end(), frame->data.data());
+    }
+    BP_RETURN_IF_ERROR(
+        file_->Write(uint64_t{frame->id} * kPageSize, frame->data));
+    ++stats_.pages_written;
+  }
+  if (options_.sync) BP_RETURN_IF_ERROR(file_->Sync());
+
+  // Phase 3: the commit is durable; retire the journal.
+  if (!before_images_.empty()) {
+    BP_RETURN_IF_ERROR(options_.env->Remove(JournalPath()));
+  }
+
+  for (internal::Frame* frame : dirty) frame->dirty = false;
+  committed_file_pages_ = page_count_;
+  before_images_.clear();
+  fresh_pages_.clear();
+  in_txn_ = false;
+  ++stats_.commits;
+  MaybeEvict();
+  return Status::Ok();
+}
+
+Status Pager::Rollback() {
+  BP_REQUIRE(in_txn_, "Rollback outside a transaction");
+
+  // Restore before-images in cache; drop frames for pages that did not
+  // exist before the transaction.
+  for (auto& [id, image] : before_images_) {
+    auto it = frames_.find(id);
+    if (it != frames_.end()) {
+      it->second->data = image;
+      it->second->dirty = false;
+    }
+  }
+  for (auto& [id, unused] : fresh_pages_) {
+    (void)unused;
+    auto it = frames_.find(id);
+    if (it != frames_.end()) {
+      BP_CHECK(it->second->pins == 0, "rolling back a pinned fresh page");
+      frames_.erase(it);
+    }
+  }
+
+  // Restore header fields from the (now clean) cached header frame, or
+  // from disk if it was never touched.
+  page_count_ = txn_orig_page_count_;
+  auto hit = frames_.find(0);
+  if (hit != frames_.end()) {
+    Reader r(hit->second->data);
+    r.Skip(4 + 4 + 4);  // magic, version, page_size
+    page_count_ = r.ReadU32();
+    freelist_head_ = r.ReadU32();
+    freelist_count_ = r.ReadU32();
+    catalog_root_ = r.ReadU32();
+    commit_seq_ = r.ReadU64();
+  }
+
+  before_images_.clear();
+  fresh_pages_.clear();
+  in_txn_ = false;
+  ++stats_.rollbacks;
+  return Status::Ok();
+}
+
+Result<internal::Frame*> Pager::FetchFrame(PageId id) {
+  BP_REQUIRE(id < page_count_, util::StrFormat("page %u out of range (%u)",
+                                               id, page_count_));
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++stats_.cache_hits;
+    it->second->lru_tick = ++lru_clock_;
+    return it->second.get();
+  }
+  ++stats_.cache_misses;
+  auto frame = std::make_unique<internal::Frame>();
+  frame->id = id;
+  frame->lru_tick = ++lru_clock_;
+  if (id < committed_file_pages_) {
+    BP_RETURN_IF_ERROR(
+        file_->Read(uint64_t{id} * kPageSize, kPageSize, &frame->data));
+    ++stats_.pages_read;
+  } else {
+    // Allocated this transaction: nothing on disk yet.
+    frame->data.assign(kPageSize, '\0');
+  }
+  internal::Frame* raw = frame.get();
+  frames_.emplace(id, std::move(frame));
+  return raw;
+}
+
+Result<PageRef> Pager::Get(PageId id) {
+  BP_ASSIGN_OR_RETURN(internal::Frame * frame, FetchFrame(id));
+  PageRef ref(this, frame, /*writable=*/false);
+  MaybeEvict();  // `frame` is pinned by `ref`, so it cannot be a victim
+  return ref;
+}
+
+Result<PageRef> Pager::GetMutable(PageId id) {
+  BP_REQUIRE(in_txn_, "mutation outside a transaction");
+  BP_ASSIGN_OR_RETURN(internal::Frame * frame, FetchFrame(id));
+  JournalBeforeImage(*frame);
+  frame->dirty = true;
+  return PageRef(this, frame, /*writable=*/true);
+}
+
+void Pager::JournalBeforeImage(internal::Frame& frame) {
+  if (fresh_pages_.count(frame.id) > 0 ||
+      before_images_.count(frame.id) > 0) {
+    return;
+  }
+  if (frame.id >= txn_orig_page_count_) {
+    fresh_pages_[frame.id] = true;
+    return;
+  }
+  before_images_[frame.id] = frame.data;
+}
+
+Result<PageId> Pager::Allocate() {
+  BP_REQUIRE(in_txn_, "Allocate outside a transaction");
+  PageId id;
+  if (freelist_head_ != kNoPage) {
+    id = freelist_head_;
+    BP_ASSIGN_OR_RETURN(PageRef ref, GetMutable(id));
+    util::Reader r(std::string_view(ref.data(), kPageSize));
+    freelist_head_ = r.ReadU32();
+    --freelist_count_;
+    std::fill(ref.mutable_data(), ref.mutable_data() + kPageSize, '\0');
+  } else {
+    id = page_count_;
+    ++page_count_;
+    // Materialize the frame now so its fresh-page status is recorded.
+    BP_ASSIGN_OR_RETURN(PageRef ref, GetMutable(id));
+    (void)ref;
+  }
+  BP_RETURN_IF_ERROR(WriteHeaderToFrame());
+  return id;
+}
+
+Status Pager::Free(PageId id) {
+  BP_REQUIRE(in_txn_, "Free outside a transaction");
+  BP_REQUIRE(id != 0 && id < page_count_, "freeing an invalid page");
+  BP_ASSIGN_OR_RETURN(PageRef ref, GetMutable(id));
+  std::fill(ref.mutable_data(), ref.mutable_data() + kPageSize, '\0');
+  util::Writer w;
+  w.PutU32(freelist_head_);
+  std::copy(w.data().begin(), w.data().end(), ref.mutable_data());
+  freelist_head_ = id;
+  ++freelist_count_;
+  return WriteHeaderToFrame();
+}
+
+Status Pager::SetCatalogRoot(PageId root) {
+  BP_REQUIRE(in_txn_, "SetCatalogRoot outside a transaction");
+  catalog_root_ = root;
+  return WriteHeaderToFrame();
+}
+
+void Pager::Unpin(internal::Frame* frame) {
+  BP_CHECK(frame->pins > 0);
+  --frame->pins;
+}
+
+void Pager::MaybeEvict() {
+  if (frames_.size() <= options_.cache_pages) return;
+  // Evict clean, unpinned frames in LRU order until under the cap. Dirty
+  // frames must survive until commit, so the cap is soft.
+  std::vector<internal::Frame*> victims;
+  for (auto& [id, frame] : frames_) {
+    if (frame->pins == 0 && !frame->dirty && frame->id != 0) {
+      victims.push_back(frame.get());
+    }
+  }
+  std::sort(victims.begin(), victims.end(),
+            [](const internal::Frame* a, const internal::Frame* b) {
+              return a->lru_tick < b->lru_tick;
+            });
+  for (internal::Frame* victim : victims) {
+    if (frames_.size() <= options_.cache_pages) break;
+    frames_.erase(victim->id);
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace bp::storage

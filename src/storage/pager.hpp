@@ -1,0 +1,221 @@
+// Pager: page cache + transactions + crash recovery.
+//
+// The database file is an array of kPageSize pages. Page 0 holds the
+// header (magic, page count, freelist, catalog root). All reads and
+// writes go through pinned page references; mutations are transactional.
+//
+// Durability protocol (rollback journal, as in SQLite's journal mode):
+//   1. During a transaction, dirty pages live only in the cache; the
+//      first mutation of each pre-existing page captures its before-image.
+//   2. Commit: write all before-images to <path>.journal, fsync it, then
+//      write the dirty pages to the database file, fsync it, then truncate
+//      the journal. A crash before the journal fsync leaves the database
+//      untouched; a crash after it is rolled back on the next Open by
+//      replaying before-images and truncating to the journaled page count.
+//   3. Rollback: restore before-images in cache; nothing reached the file.
+//
+// Not thread-safe: the engine is single-writer by design (the paper's
+// workload is one local browser).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "storage/env.hpp"
+#include "storage/page.hpp"
+#include "util/status.hpp"
+
+namespace bp::storage {
+
+struct PagerOptions {
+  Env* env = Env::Posix();
+  // Soft cap on cached pages; clean unpinned pages are evicted LRU beyond
+  // it. Dirty pages are never evicted (they spill at commit).
+  size_t cache_pages = 4096;
+  // When false, skips fsync (faster tests/benches; crash safety off).
+  bool sync = true;
+};
+
+struct PagerStats {
+  uint64_t commits = 0;
+  uint64_t rollbacks = 0;
+  uint64_t pages_written = 0;
+  uint64_t pages_read = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t evictions = 0;
+};
+
+class Pager;
+
+namespace internal {
+struct Frame {
+  PageId id = kNoPage;
+  std::string data;  // exactly kPageSize bytes
+  int pins = 0;
+  bool dirty = false;
+  uint64_t lru_tick = 0;
+};
+}  // namespace internal
+
+// RAII pinned view of one page. Obtained from Pager::Get (read-only) or
+// Pager::GetMutable (writable, dirties the page). Movable, not copyable.
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(Pager* pager, internal::Frame* frame, bool writable);
+  ~PageRef();
+
+  PageRef(PageRef&& other) noexcept { *this = std::move(other); }
+  PageRef& operator=(PageRef&& other) noexcept;
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+
+  bool valid() const { return frame_ != nullptr; }
+  PageId id() const;
+  const char* data() const;
+  // Precondition: acquired via GetMutable.
+  char* mutable_data();
+
+ private:
+  Pager* pager_ = nullptr;
+  internal::Frame* frame_ = nullptr;
+  bool writable_ = false;
+};
+
+class Pager {
+ public:
+  // Opens (creating or recovering as needed) the database at `path`.
+  static util::Result<std::unique_ptr<Pager>> Open(std::string path,
+                                                   PagerOptions options);
+  ~Pager();
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  // --- transactions -------------------------------------------------
+  util::Status Begin();
+  util::Status Commit();
+  util::Status Rollback();
+  bool InTransaction() const { return in_txn_; }
+
+  // --- page access ---------------------------------------------------
+  util::Result<PageRef> Get(PageId id);
+  // Requires an open transaction.
+  util::Result<PageRef> GetMutable(PageId id);
+
+  // Allocates a zeroed page (freelist first, else grows the file).
+  // Requires an open transaction.
+  util::Result<PageId> Allocate();
+  // Returns a page to the freelist. Requires an open transaction.
+  util::Status Free(PageId id);
+
+  // --- header fields -------------------------------------------------
+  uint32_t page_count() const { return page_count_; }
+  uint32_t freelist_length() const { return freelist_count_; }
+  PageId catalog_root() const { return catalog_root_; }
+  util::Status SetCatalogRoot(PageId root);
+
+  const PagerStats& stats() const { return stats_; }
+
+  // Total bytes the database file occupies (page_count * kPageSize).
+  uint64_t FileBytes() const {
+    return static_cast<uint64_t>(page_count_) * kPageSize;
+  }
+
+  // Test hook: when set, Commit() stops right after the journal fsync and
+  // returns Aborted — simulating a crash between journal and database
+  // writes. The next Open() must recover.
+  void set_crash_after_journal_for_testing(bool v) {
+    crash_after_journal_ = v;
+  }
+
+ private:
+  friend class PageRef;
+
+  Pager(std::string path, PagerOptions options)
+      : path_(std::move(path)), options_(options) {}
+
+  util::Status InitializeNewDb();
+  util::Status LoadHeader();
+  util::Status WriteHeaderToFrame();
+  util::Status RecoverFromJournal();
+  std::string JournalPath() const { return path_ + ".journal"; }
+
+  util::Result<internal::Frame*> FetchFrame(PageId id);
+  void JournalBeforeImage(internal::Frame& frame);
+  void Unpin(internal::Frame* frame);
+  void MaybeEvict();
+
+  std::string path_;
+  PagerOptions options_;
+  std::unique_ptr<File> file_;
+
+  std::unordered_map<PageId, std::unique_ptr<internal::Frame>> frames_;
+  uint64_t lru_clock_ = 0;
+
+  // Cached header fields (persisted in page 0).
+  uint32_t page_count_ = 0;
+  PageId freelist_head_ = kNoPage;
+  uint32_t freelist_count_ = 0;
+  PageId catalog_root_ = kNoPage;
+  uint64_t commit_seq_ = 0;
+
+  // Transaction state.
+  bool in_txn_ = false;
+  // Before-images of pre-existing pages dirtied in this transaction.
+  std::unordered_map<PageId, std::string> before_images_;
+  // Pages allocated in this transaction (no before-image; rollback drops).
+  std::unordered_map<PageId, bool> fresh_pages_;
+  uint32_t txn_orig_page_count_ = 0;
+  // Pages physically present in the file (== page_count_ at last commit).
+  uint32_t committed_file_pages_ = 0;
+
+  bool crash_after_journal_ = false;
+  PagerStats stats_;
+};
+
+// Begins a transaction when none is open; a no-op when the caller already
+// holds one (the operation then composes into the outer transaction).
+// The destructor ROLLS BACK an owned, uncommitted transaction, so any
+// early error return undoes partial mutations; success paths must end
+// with `return txn.Commit();`.
+//
+// Note: when an operation fails inside an outer transaction, the partial
+// mutations stay in that transaction — the outer caller must Rollback.
+class AutoTxn {
+ public:
+  explicit AutoTxn(Pager& pager) : pager_(pager) {
+    if (!pager_.InTransaction()) {
+      begin_status_ = pager_.Begin();
+      owns_ = begin_status_.ok();
+    }
+  }
+  ~AutoTxn() {
+    if (owns_ && !committed_) {
+      // Rollback of in-memory state cannot fail in ways the destructor
+      // could meaningfully handle.
+      (void)pager_.Rollback();
+    }
+  }
+  AutoTxn(const AutoTxn&) = delete;
+  AutoTxn& operator=(const AutoTxn&) = delete;
+
+  // Commits when owned; reports a failed Begin; no-op when nested.
+  util::Status Commit() {
+    if (!begin_status_.ok()) return begin_status_;
+    if (!owns_) return util::Status::Ok();
+    committed_ = true;
+    return pager_.Commit();
+  }
+
+ private:
+  Pager& pager_;
+  util::Status begin_status_;
+  bool owns_ = false;
+  bool committed_ = false;
+};
+
+}  // namespace bp::storage

@@ -1,0 +1,184 @@
+// Typed row storage and secondary indexes over B+trees.
+//
+// Table<Row> stores rows keyed by an auto-assigned uint64 id (big-endian
+// encoded so scans return insertion order). RowCodec<Row> must be
+// specialized per row type:
+//
+//   template <> struct RowCodec<MyRow> {
+//     static void Encode(const MyRow& row, util::Writer& w);
+//     static util::Result<MyRow> Decode(util::Reader& r);
+//   };
+//
+// Index maps string keys to row ids (multi-map). Entry layout is
+// key + '\0' + big-endian row id, which keeps entries grouped by key and
+// ordered by id; user keys must therefore not contain NUL bytes (numeric
+// composite keys should use OrderedKeyU64Pair on a raw BTree instead).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "storage/btree.hpp"
+#include "util/require.hpp"
+#include "util/serde.hpp"
+#include "util/status.hpp"
+
+namespace bp::storage {
+
+template <typename Row>
+struct RowCodec;  // specialize per row type
+
+namespace internal {
+// Row id 0 is reserved for the id-allocator cell.
+inline const std::string kMetaKey = util::OrderedKeyU64(0);
+}  // namespace internal
+
+template <typename Row>
+class Table {
+ public:
+  explicit Table(BTree* tree) : tree_(tree) {
+    BP_REQUIRE(tree != nullptr);
+  }
+
+  // Appends a row, returning its assigned id (ids start at 1 and are
+  // never reused).
+  util::Result<uint64_t> Insert(const Row& row) {
+    uint64_t id = 1;
+    auto meta = tree_->Get(internal::kMetaKey);
+    if (meta.ok()) {
+      util::Reader r(*meta);
+      id = r.ReadU64();
+      BP_RETURN_IF_ERROR(r.Finish());
+    } else if (!meta.status().IsNotFound()) {
+      return meta.status();
+    }
+    BP_RETURN_IF_ERROR(Put(id, row));
+    util::Writer w;
+    w.PutU64(id + 1);
+    BP_RETURN_IF_ERROR(tree_->Put(internal::kMetaKey, w.data()));
+    return id;
+  }
+
+  util::Status Put(uint64_t id, const Row& row) {
+    BP_REQUIRE(id != 0, "row id 0 is reserved");
+    util::Writer w;
+    RowCodec<Row>::Encode(row, w);
+    return tree_->Put(util::OrderedKeyU64(id), w.data());
+  }
+
+  util::Result<Row> Get(uint64_t id) const {
+    BP_ASSIGN_OR_RETURN(std::string raw,
+                        tree_->Get(util::OrderedKeyU64(id)));
+    util::Reader r(raw);
+    BP_ASSIGN_OR_RETURN(Row row, RowCodec<Row>::Decode(r));
+    BP_RETURN_IF_ERROR(r.Finish());
+    return row;
+  }
+
+  util::Status Delete(uint64_t id) {
+    return tree_->Delete(util::OrderedKeyU64(id));
+  }
+
+  util::Result<bool> Contains(uint64_t id) const {
+    return tree_->Contains(util::OrderedKeyU64(id));
+  }
+
+  // In-order scan; `fn` returns false to stop. Decode failures abort the
+  // scan with Corruption.
+  util::Status ForEach(
+      const std::function<bool(uint64_t id, const Row& row)>& fn) const {
+    util::Status decode_status;
+    util::Status scan_status = tree_->ForEach(
+        [&](std::string_view key, std::string_view value) {
+          uint64_t id = util::DecodeOrderedKeyU64(key);
+          if (id == 0) return true;  // allocator cell
+          util::Reader r(value);
+          auto row = RowCodec<Row>::Decode(r);
+          if (!row.ok()) {
+            decode_status = row.status();
+            return false;
+          }
+          return fn(id, *row);
+        });
+    BP_RETURN_IF_ERROR(scan_status);
+    return decode_status;
+  }
+
+  util::Result<uint64_t> Count() const {
+    BP_ASSIGN_OR_RETURN(uint64_t n, tree_->Count());
+    // Exclude the allocator cell when present.
+    auto meta = tree_->Contains(internal::kMetaKey);
+    BP_RETURN_IF_ERROR(meta.status());
+    return *meta ? n - 1 : n;
+  }
+
+  BTree* tree() { return tree_; }
+
+ private:
+  BTree* tree_;
+};
+
+// Secondary index: string key -> set of row ids.
+class Index {
+ public:
+  explicit Index(BTree* tree) : tree_(tree) {
+    BP_REQUIRE(tree != nullptr);
+  }
+
+  util::Status Add(std::string_view key, uint64_t row_id) {
+    return tree_->Put(Entry(key, row_id), {});
+  }
+
+  util::Status Remove(std::string_view key, uint64_t row_id) {
+    return tree_->Delete(Entry(key, row_id));
+  }
+
+  // Row ids for exactly `key`, ascending.
+  util::Status ForEachEqual(
+      std::string_view key,
+      const std::function<bool(uint64_t row_id)>& fn) const {
+    std::string prefix(key);
+    prefix.push_back('\0');
+    return tree_->ForEachPrefix(
+        prefix, [&](std::string_view entry, std::string_view) {
+          return fn(util::DecodeOrderedKeyU64(
+              entry.substr(entry.size() - 8)));
+        });
+  }
+
+  // All (key, row id) pairs whose key starts with `key_prefix`,
+  // ascending by key then id.
+  util::Status ForEachPrefix(
+      std::string_view key_prefix,
+      const std::function<bool(std::string_view key, uint64_t row_id)>& fn)
+      const {
+    return tree_->ForEachPrefix(
+        key_prefix, [&](std::string_view entry, std::string_view) {
+          BP_CHECK(entry.size() >= 9, "malformed index entry");
+          std::string_view key = entry.substr(0, entry.size() - 9);
+          uint64_t id =
+              util::DecodeOrderedKeyU64(entry.substr(entry.size() - 8));
+          return fn(key, id);
+        });
+  }
+
+  util::Result<bool> Contains(std::string_view key, uint64_t row_id) const {
+    return tree_->Contains(Entry(key, row_id));
+  }
+
+ private:
+  static std::string Entry(std::string_view key, uint64_t row_id) {
+    BP_REQUIRE(key.find('\0') == std::string_view::npos,
+               "index keys must not contain NUL");
+    std::string entry(key);
+    entry.push_back('\0');
+    entry += util::OrderedKeyU64(row_id);
+    return entry;
+  }
+
+  BTree* tree_;
+};
+
+}  // namespace bp::storage

@@ -1,0 +1,62 @@
+#include "text/tokenizer.hpp"
+
+#include <array>
+#include <unordered_set>
+
+namespace bp::text {
+
+namespace {
+
+const std::unordered_set<std::string_view>& StopwordSet() {
+  static const auto* kSet = new std::unordered_set<std::string_view>{
+      "a",    "an",   "and",  "are",  "as",   "at",    "be",   "by",
+      "for",  "from", "has",  "he",   "in",   "is",    "it",   "its",
+      "of",   "on",   "or",   "that", "the",  "to",    "was",  "were",
+      "will", "with", "this", "but",  "they", "have",  "had",  "what",
+      "when", "where",
+      // URL plumbing that would otherwise dominate every document:
+      "http", "https", "www", "com",  "org",  "net",   "html", "htm",
+      "php",  "index", "id",  "page"};
+  return *kSet;
+}
+
+}  // namespace
+
+bool IsStopword(std::string_view word) {
+  return StopwordSet().count(word) > 0;
+}
+
+std::vector<std::string> Tokenize(std::string_view input) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (current.size() >= 2 && !IsStopword(current)) {
+      tokens.push_back(current);
+    }
+    current.clear();
+  };
+  for (char c : input) {
+    if (c >= 'a' && c <= 'z') {
+      current.push_back(c);
+    } else if (c >= 'A' && c <= 'Z') {
+      current.push_back(static_cast<char>(c - 'A' + 'a'));
+    } else if (c >= '0' && c <= '9') {
+      current.push_back(c);
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+std::unordered_map<std::string, uint32_t> TermCounts(
+    std::string_view input) {
+  std::unordered_map<std::string, uint32_t> counts;
+  for (std::string& token : Tokenize(input)) {
+    ++counts[std::move(token)];
+  }
+  return counts;
+}
+
+}  // namespace bp::text

@@ -1,0 +1,28 @@
+// Tokenization for history text: page titles, URLs, search queries.
+//
+// Lowercases, splits on any non-alphanumeric byte (which also breaks
+// URLs into their meaningful components: host words, path words, query
+// terms), drops one-character tokens and a small stopword list. ASCII
+// only by design: the simulator emits ASCII and the storage layer treats
+// terms as opaque bytes, so a full Unicode pipeline would add nothing to
+// the experiments.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace bp::text {
+
+// True for words too common to carry signal ("the", "and", "http", ...).
+bool IsStopword(std::string_view word);
+
+// Tokenize free text or a URL into normalized terms (order preserved,
+// duplicates kept — term frequency matters to scoring).
+std::vector<std::string> Tokenize(std::string_view input);
+
+// Tokenize and count: term -> occurrences.
+std::unordered_map<std::string, uint32_t> TermCounts(std::string_view input);
+
+}  // namespace bp::text

@@ -1,0 +1,79 @@
+// QueryBudget: deadline + work-cap control for anytime queries.
+//
+// The paper claims its queries "complete in less than 200ms in the
+// majority of cases and can be bound to that time in the remaining
+// cases". The bound is realized by passing a QueryBudget into every
+// use-case algorithm: traversals and expansions charge one unit per node
+// touched and poll the deadline periodically; on exhaustion the algorithm
+// stops expanding and returns its best-so-far results, flagged truncated.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/time.hpp"
+
+namespace bp::util {
+
+class QueryBudget {
+ public:
+  // Unlimited budget.
+  QueryBudget() = default;
+
+  static QueryBudget Unlimited() { return QueryBudget(); }
+
+  static QueryBudget WithDeadlineMs(double ms) {
+    QueryBudget b;
+    b.deadline_ms_ = ms;
+    return b;
+  }
+
+  static QueryBudget WithNodeCap(uint64_t cap) {
+    QueryBudget b;
+    b.node_cap_ = cap;
+    return b;
+  }
+
+  static QueryBudget WithDeadlineAndCap(double ms, uint64_t cap) {
+    QueryBudget b;
+    b.deadline_ms_ = ms;
+    b.node_cap_ = cap;
+    return b;
+  }
+
+  // Charge `n` units of work. Returns false when the budget is exhausted;
+  // the caller must stop expanding (but may still return partial results).
+  bool Charge(uint64_t n = 1) {
+    used_ += n;
+    if (used_ > node_cap_) {
+      exhausted_ = true;
+      return false;
+    }
+    // The clock is polled every kPollInterval charges: a steady_clock read
+    // per node would dominate small traversals.
+    if (deadline_ms_ < std::numeric_limits<double>::infinity() &&
+        used_ - last_poll_ >= kPollInterval) {
+      last_poll_ = used_;
+      if (watch_.ElapsedMs() > deadline_ms_) {
+        exhausted_ = true;
+        return false;
+      }
+    }
+    return exhausted_ ? false : true;
+  }
+
+  bool exhausted() const { return exhausted_; }
+  uint64_t used() const { return used_; }
+
+ private:
+  static constexpr uint64_t kPollInterval = 64;
+
+  double deadline_ms_ = std::numeric_limits<double>::infinity();
+  uint64_t node_cap_ = std::numeric_limits<uint64_t>::max();
+  uint64_t used_ = 0;
+  uint64_t last_poll_ = 0;
+  bool exhausted_ = false;
+  Stopwatch watch_;
+};
+
+}  // namespace bp::util

@@ -1,0 +1,34 @@
+// Non-cryptographic hashing for hash maps, content fingerprints, and
+// deterministic name->seed derivation.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace bp::util {
+
+// FNV-1a 64-bit. Stable across platforms and runs.
+inline uint64_t Fnv1a64(std::string_view data, uint64_t seed = 0) {
+  uint64_t h = 14695981039346656037ULL ^ seed;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// SplitMix64 finalizer: good avalanche for integer keys.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace bp::util

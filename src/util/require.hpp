@@ -1,0 +1,47 @@
+// Contract checking. BP_REQUIRE guards public-API preconditions;
+// BP_CHECK guards internal invariants. Both throw std::logic_error —
+// a failure is a bug in the caller (REQUIRE) or in bp itself (CHECK),
+// never an environmental condition, so Status is not appropriate.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bp::util::internal {
+
+[[noreturn]] inline void ContractFailure(const char* kind, const char* expr,
+                                         const char* file, int line,
+                                         const std::string& message) {
+  std::string what(kind);
+  what += " failed: ";
+  what += expr;
+  what += " at ";
+  what += file;
+  what += ":";
+  what += std::to_string(line);
+  if (!message.empty()) {
+    what += " — ";
+    what += message;
+  }
+  throw std::logic_error(what);
+}
+
+}  // namespace bp::util::internal
+
+#define BP_REQUIRE(cond, ...)                                          \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::bp::util::internal::ContractFailure(                           \
+          "BP_REQUIRE", #cond, __FILE__, __LINE__,                     \
+          ::std::string(__VA_ARGS__));                                 \
+    }                                                                  \
+  } while (0)
+
+#define BP_CHECK(cond, ...)                                            \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::bp::util::internal::ContractFailure(                           \
+          "BP_CHECK", #cond, __FILE__, __LINE__,                       \
+          ::std::string(__VA_ARGS__));                                 \
+    }                                                                  \
+  } while (0)

@@ -1,0 +1,96 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace bp::util {
+
+uint64_t Rng::Uniform(uint64_t n) {
+  BP_REQUIRE(n > 0, "Uniform(0) is meaningless");
+  // Rejection sampling to remove modulo bias.
+  uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
+  while (true) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  BP_REQUIRE(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::UniformReal() {
+  // 53 random bits -> [0, 1) with full double precision.
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+int Rng::Poisson(double lambda) {
+  BP_REQUIRE(lambda >= 0.0);
+  if (lambda == 0.0) return 0;
+  if (lambda < 64.0) {
+    double limit = std::exp(-lambda);
+    double prod = UniformReal();
+    int n = 0;
+    while (prod > limit) {
+      prod *= UniformReal();
+      ++n;
+    }
+    return n;
+  }
+  // Normal approximation with continuity correction for large lambda.
+  double v = Normal(lambda, std::sqrt(lambda));
+  return v < 0.0 ? 0 : static_cast<int>(v + 0.5);
+}
+
+double Rng::Exponential(double rate) {
+  BP_REQUIRE(rate > 0.0);
+  double u = UniformReal();
+  // 1-u is in (0,1], so the log is finite.
+  return -std::log(1.0 - u) / rate;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  double u1 = 1.0 - UniformReal();  // (0, 1]
+  double u2 = UniformReal();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  BP_REQUIRE(n > 0);
+  // Rejection-inversion (Hörmann); exact for all n without O(n) tables.
+  if (n == 1) return 0;
+  const double b = std::pow(2.0, 1.0 - s);
+  while (true) {
+    double u = UniformReal();
+    double v = UniformReal();
+    double x = std::floor(std::pow(static_cast<double>(n) + 1.0, u));
+    // x in [1, n+1); accept with probability proportional to x^-s.
+    double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b) {
+      uint64_t r = static_cast<uint64_t>(x) - 1;
+      if (r < n) return r;
+    }
+  }
+}
+
+size_t Rng::PickWeighted(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    BP_REQUIRE(w >= 0.0, "negative weight");
+    total += w;
+  }
+  BP_REQUIRE(total > 0.0, "all weights zero");
+  double r = UniformReal() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;  // floating point slop: last positive bucket
+}
+
+}  // namespace bp::util

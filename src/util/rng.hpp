@@ -1,0 +1,101 @@
+// Deterministic pseudo-random utilities. All stochastic behaviour in bp
+// (simulation, benchmarks, property tests) draws from Rng so that any run
+// is exactly reproducible from its seed. PCG32 core with SplitMix64
+// seeding; distribution helpers cover the needs of the browsing simulator
+// (Zipf page popularity, Poisson session arrivals, exponential dwell
+// times, weighted categorical actions).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bp::util {
+
+// SplitMix64: used to expand one seed into independent stream seeds.
+inline uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    state_ = SplitMix64(sm);
+    inc_ = SplitMix64(sm) | 1u;  // stream selector must be odd
+    NextU32();
+    NextU32();
+  }
+
+  // Derive an independent generator; stable across runs for a given label.
+  Rng Fork(uint64_t label) const {
+    uint64_t sm = state_ ^ (label * 0x9e3779b97f4a7c15ULL) ^ inc_;
+    return Rng(SplitMix64(sm));
+  }
+
+  uint32_t NextU32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  uint64_t NextU64() {
+    return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+  }
+
+  // Uniform integer in [0, n). Precondition: n > 0. Debiased via rejection.
+  uint64_t Uniform(uint64_t n);
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  // Uniform real in [0, 1).
+  double UniformReal();
+
+  bool Bernoulli(double p) { return UniformReal() < p; }
+
+  // Knuth's method for small lambda; normal approximation above 64.
+  int Poisson(double lambda);
+
+  double Exponential(double rate);
+
+  // Normal via Box-Muller (no cached spare: keeps the state stream simple).
+  double Normal(double mean, double stddev);
+
+  // Zipf-distributed rank in [0, n) with exponent s (s=1: classic).
+  // Uses precomputable rejection-free inverse-CDF over harmonic weights
+  // for small n, and rejection sampling for large n.
+  uint64_t Zipf(uint64_t n, double s);
+
+  // Index drawn proportionally to non-negative weights.
+  // Precondition: at least one weight > 0.
+  size_t PickWeighted(std::span<const double> weights);
+
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[Uniform(v.size())];
+  }
+
+ private:
+  uint64_t state_ = 0;
+  uint64_t inc_ = 0;
+};
+
+}  // namespace bp::util

@@ -1,0 +1,208 @@
+// Byte-level serialization used by the storage engine and record schemas.
+//
+// Encoding conventions (little-endian throughout):
+//   - fixed-width integers: PutU8/U16/U32/U64
+//   - unsigned varints: ULEB128 (PutVarint64)
+//   - signed varints: zig-zag then ULEB128 (PutSignedVarint64)
+//   - strings/blobs: varint length prefix followed by raw bytes
+//   - doubles: IEEE-754 bit pattern as fixed 64-bit
+//
+// Reader accumulates an error flag instead of returning Status from every
+// call so that decode sequences stay linear; callers check ok() once at
+// the end (and must treat !ok() as corruption).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+
+namespace bp::util {
+
+// Append-only encoder over an owned byte buffer.
+class Writer {
+ public:
+  Writer() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU16(uint16_t v) { PutFixed(v); }
+  void PutU32(uint32_t v) { PutFixed(v); }
+  void PutU64(uint64_t v) { PutFixed(v); }
+
+  void PutVarint64(uint64_t v) {
+    while (v >= 0x80) {
+      PutU8(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    PutU8(static_cast<uint8_t>(v));
+  }
+
+  void PutSignedVarint64(int64_t v) {
+    // Zig-zag: small magnitudes (of either sign) encode small.
+    PutVarint64((static_cast<uint64_t>(v) << 1) ^
+                static_cast<uint64_t>(v >> 63));
+  }
+
+  void PutDouble(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+
+  void PutString(std::string_view s) {
+    PutVarint64(s.size());
+    buf_.append(s.data(), s.size());
+  }
+
+  // Raw bytes with no length prefix (caller manages framing).
+  void PutRaw(std::string_view s) { buf_.append(s.data(), s.size()); }
+
+  const std::string& data() const& { return buf_; }
+  std::string&& data() && { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+  void Clear() { buf_.clear(); }
+
+ private:
+  template <typename T>
+  void PutFixed(T v) {
+    char tmp[sizeof(T)];
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      tmp[i] = static_cast<char>(v >> (8 * i));
+    }
+    buf_.append(tmp, sizeof(T));
+  }
+
+  std::string buf_;
+};
+
+// Sequential decoder over a borrowed byte range. Does not own the bytes;
+// the underlying buffer must outlive the Reader.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  uint8_t ReadU8() {
+    if (!Need(1)) return 0;
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  uint16_t ReadU16() { return ReadFixed<uint16_t>(); }
+  uint32_t ReadU32() { return ReadFixed<uint32_t>(); }
+  uint64_t ReadU64() { return ReadFixed<uint64_t>(); }
+
+  uint64_t ReadVarint64() {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (!Need(1)) return 0;
+      uint8_t b = static_cast<uint8_t>(data_[pos_++]);
+      if (shift >= 64 || (shift == 63 && (b & 0x7e))) {
+        ok_ = false;  // overflow: not a canonical 64-bit varint
+        return 0;
+      }
+      v |= static_cast<uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  int64_t ReadSignedVarint64() {
+    uint64_t z = ReadVarint64();
+    return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
+
+  double ReadDouble() {
+    uint64_t bits = ReadU64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  // Returns a view into the underlying buffer (zero copy).
+  std::string_view ReadString() {
+    uint64_t n = ReadVarint64();
+    if (!Need(n)) return {};
+    std::string_view out = data_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  std::string_view ReadRaw(size_t n) {
+    if (!Need(n)) return {};
+    std::string_view out = data_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  void Skip(size_t n) {
+    if (Need(n)) pos_ += n;
+  }
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+
+  // OK only when every read succeeded AND all input was consumed.
+  Status Finish() const {
+    if (!ok_) return Status::Corruption("truncated or malformed record");
+    if (!AtEnd()) return Status::Corruption("trailing bytes in record");
+    return Status::Ok();
+  }
+
+ private:
+  template <typename T>
+  T ReadFixed() {
+    if (!Need(sizeof(T))) return T{};
+    T v{};
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  bool Need(uint64_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Lexicographically order-preserving encoding of a uint64 (big-endian).
+// Used for B+tree keys so that numeric order == byte order.
+inline std::string OrderedKeyU64(uint64_t v) {
+  std::string out(8, '\0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = static_cast<char>(v & 0xff);
+    v >>= 8;
+  }
+  return out;
+}
+
+// Inverse of OrderedKeyU64. Precondition: key.size() >= 8.
+inline uint64_t DecodeOrderedKeyU64(std::string_view key) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<uint8_t>(key[i]);
+  }
+  return v;
+}
+
+// Composite ordered key: big-endian u64 pairs concatenated; sorts by
+// (a, b). Used for adjacency indexes keyed by (node id, edge id).
+inline std::string OrderedKeyU64Pair(uint64_t a, uint64_t b) {
+  std::string out = OrderedKeyU64(a);
+  out += OrderedKeyU64(b);
+  return out;
+}
+
+}  // namespace bp::util

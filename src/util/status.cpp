@@ -1,0 +1,32 @@
+#include "util/status.hpp"
+
+namespace bp::util {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "Ok";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kIoError: return "IoError";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kAborted: return "Aborted";
+    case StatusCode::kBudgetExhausted: return "BudgetExhausted";
+    case StatusCode::kUnimplemented: return "Unimplemented";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "Ok";
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace bp::util

@@ -1,0 +1,151 @@
+// Status / Result<T>: recoverable-error propagation for the bp libraries.
+//
+// Storage code encounters errors (I/O failure, corruption, missing keys)
+// that callers are expected to handle, so public APIs that can fail return
+// Status or Result<T> rather than throwing. Contract violations — caller
+// bugs — throw std::logic_error via BP_REQUIRE (see util/require.hpp).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace bp::util {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kIoError,
+  kCorruption,
+  kOutOfRange,
+  kFailedPrecondition,
+  kAborted,
+  kBudgetExhausted,
+  kUnimplemented,
+};
+
+// Human-readable name of a status code ("NotFound", "IoError", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// A cheaply copyable success-or-error value. The OK status carries no
+// message and allocates nothing.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m = {}) {
+    return {StatusCode::kNotFound, std::move(m)};
+  }
+  static Status AlreadyExists(std::string m = {}) {
+    return {StatusCode::kAlreadyExists, std::move(m)};
+  }
+  static Status InvalidArgument(std::string m = {}) {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  static Status IoError(std::string m = {}) {
+    return {StatusCode::kIoError, std::move(m)};
+  }
+  static Status Corruption(std::string m = {}) {
+    return {StatusCode::kCorruption, std::move(m)};
+  }
+  static Status OutOfRange(std::string m = {}) {
+    return {StatusCode::kOutOfRange, std::move(m)};
+  }
+  static Status FailedPrecondition(std::string m = {}) {
+    return {StatusCode::kFailedPrecondition, std::move(m)};
+  }
+  static Status Aborted(std::string m = {}) {
+    return {StatusCode::kAborted, std::move(m)};
+  }
+  static Status BudgetExhausted(std::string m = {}) {
+    return {StatusCode::kBudgetExhausted, std::move(m)};
+  }
+  static Status Unimplemented(std::string m = {}) {
+    return {StatusCode::kUnimplemented, std::move(m)};
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsBudgetExhausted() const {
+    return code_ == StatusCode::kBudgetExhausted;
+  }
+
+  // "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// A value of type T or the Status explaining why it is absent.
+// Result<T> is never in an "OK but empty" state.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : rep_(std::move(status)) {}  // NOLINT
+  Result(StatusCode code, std::string message)
+      : rep_(Status(code, std::move(message))) {}
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  // Status(): OK when a value is held.
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(rep_);
+  }
+
+  // Precondition: ok(). Checked: throws std::logic_error when violated.
+  const T& value() const& { return std::get<T>(rep_); }
+  T& value() & { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace bp::util
+
+// Propagate a non-OK Status to the caller.
+#define BP_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::bp::util::Status bp_st_ = (expr);           \
+    if (!bp_st_.ok()) return bp_st_;              \
+  } while (0)
+
+// Evaluate a Result<T> expression; on success bind its value, otherwise
+// return the error. `lhs` may declare a new variable ("auto x").
+#define BP_ASSIGN_OR_RETURN(lhs, expr)            \
+  BP_ASSIGN_OR_RETURN_IMPL_(                      \
+      BP_STATUS_CONCAT_(bp_res_, __LINE__), lhs, expr)
+
+#define BP_STATUS_CONCAT_INNER_(a, b) a##b
+#define BP_STATUS_CONCAT_(a, b) BP_STATUS_CONCAT_INNER_(a, b)
+#define BP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()

@@ -1,0 +1,26 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bp::util {
+
+std::string ToLower(std::string_view s);
+
+// Split on any occurrence of `sep`; empty fields are dropped.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+// printf-style formatting into a std::string (std::format is not complete
+// in this toolchain's libstdc++).
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Human-readable byte count: "4.2 KiB", "1.0 MiB", ...
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace bp::util

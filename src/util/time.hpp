@@ -1,0 +1,54 @@
+// Time representation. All simulated and stored times are milliseconds
+// since an arbitrary epoch (int64). Wall-clock time is used only for
+// measuring query latency, never for data.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace bp::util {
+
+using TimeMs = int64_t;
+
+constexpr TimeMs kMsPerSecond = 1000;
+constexpr TimeMs kMsPerMinute = 60 * kMsPerSecond;
+constexpr TimeMs kMsPerHour = 60 * kMsPerMinute;
+constexpr TimeMs kMsPerDay = 24 * kMsPerHour;
+
+constexpr TimeMs Seconds(int64_t n) { return n * kMsPerSecond; }
+constexpr TimeMs Minutes(int64_t n) { return n * kMsPerMinute; }
+constexpr TimeMs Hours(int64_t n) { return n * kMsPerHour; }
+constexpr TimeMs Days(int64_t n) { return n * kMsPerDay; }
+
+// A half-open interval [open, close). close == kTimeMax means still open.
+constexpr TimeMs kTimeMax = INT64_MAX;
+
+struct TimeSpan {
+  TimeMs open = 0;
+  TimeMs close = kTimeMax;
+
+  bool Overlaps(const TimeSpan& other) const {
+    return open < other.close && other.open < close;
+  }
+  bool Contains(TimeMs t) const { return t >= open && t < close; }
+};
+
+// Monotonic stopwatch for latency measurement.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double ElapsedMs() const {
+    auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double, std::milli>(d).count();
+  }
+  int64_t ElapsedUs() const {
+    auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace bp::util

@@ -1,0 +1,264 @@
+// Use-case tests: each Section 2 scenario, run end-to-end on its planted
+// event stream. These tests assert the paper's central qualitative
+// claims: the provenance condition finds what the baseline cannot.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "capture/bus.hpp"
+#include "capture/recorders.hpp"
+#include "search/history_search.hpp"
+#include "search/lineage.hpp"
+#include "search/personalize.hpp"
+#include "search/time_context.hpp"
+#include "sim/scenario.hpp"
+#include "storage/env.hpp"
+
+namespace bp::search {
+namespace {
+
+using capture::EventBus;
+using capture::ProvenanceRecorder;
+using storage::DbOptions;
+using storage::MemEnv;
+
+class UseCaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DbOptions opts;
+    opts.env = &env_;
+    opts.sync = false;
+    auto db = storage::Db::Open("uc.db", opts);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    auto store = prov::ProvStore::Open(*db_, {});
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(*store);
+    recorder_ = std::make_unique<ProvenanceRecorder>(*store_);
+    bus_.Subscribe(recorder_.get());
+  }
+
+  void Ingest(const std::vector<capture::BrowserEvent>& events) {
+    ASSERT_TRUE(bus_.PublishAll(events).ok());
+    auto searcher = HistorySearcher::Open(*db_, *store_);
+    ASSERT_TRUE(searcher.ok());
+    searcher_ = std::move(*searcher);
+  }
+
+  // Rank (1-based) of `url` in `pages`; 0 if absent.
+  static size_t RankOf(const std::vector<RankedPage>& pages,
+                       const std::string& url) {
+    for (size_t i = 0; i < pages.size(); ++i) {
+      if (pages[i].url == url) return i + 1;
+    }
+    return 0;
+  }
+
+  MemEnv env_;
+  std::unique_ptr<storage::Db> db_;
+  std::unique_ptr<prov::ProvStore> store_;
+  std::unique_ptr<ProvenanceRecorder> recorder_;
+  std::unique_ptr<HistorySearcher> searcher_;
+  EventBus bus_;
+};
+
+// ---------------------------------------------------------- UC 2.1
+
+TEST_F(UseCaseTest, ContextualSearchFindsCitizenKane) {
+  sim::RosebudScenario scenario = sim::MakeRosebudScenario();
+  Ingest(scenario.events);
+
+  // Baseline: textual search returns the results page (it contains the
+  // term) but NOT Citizen Kane (it does not).
+  auto textual = searcher_->TextualSearch(scenario.query, 10);
+  ASSERT_TRUE(textual.ok());
+  EXPECT_GT(RankOf(textual->pages, scenario.results_url), 0u);
+  EXPECT_EQ(RankOf(textual->pages, scenario.target_url), 0u)
+      << "baseline should NOT find the film page";
+
+  // Provenance: the film page descends from the rosebud search and is
+  // returned.
+  auto contextual = searcher_->ContextualSearch(scenario.query, {});
+  ASSERT_TRUE(contextual.ok());
+  size_t rank = RankOf(contextual->pages, scenario.target_url);
+  EXPECT_GT(rank, 0u) << "provenance search must find Citizen Kane";
+  EXPECT_LE(rank, 3u);
+}
+
+TEST_F(UseCaseTest, ContextualSearchHonorsBudget) {
+  sim::RosebudScenario scenario = sim::MakeRosebudScenario();
+  Ingest(scenario.events);
+
+  util::QueryBudget budget = util::QueryBudget::WithNodeCap(1);
+  ContextualSearchOptions options;
+  options.budget = &budget;
+  auto result = searcher_->ContextualSearch(scenario.query, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->truncated);
+  // Anytime semantics: still returns whatever it had.
+}
+
+// ---------------------------------------------------------- UC 2.2
+
+TEST_F(UseCaseTest, PersonalizationLearnsFlowerContext) {
+  sim::GardenerScenario scenario = sim::MakeGardenerScenario();
+  Ingest(scenario.events);
+
+  auto result = PersonalizeQuery(*searcher_, scenario.ambiguous_query);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->expansion_terms.empty());
+  const std::string& picked = result->expansion_terms[0];
+  EXPECT_NE(std::find(scenario.expected_context_terms.begin(),
+                      scenario.expected_context_terms.end(), picked),
+            scenario.expected_context_terms.end())
+      << "picked unexpected expansion term: " << picked;
+
+  // Privacy: the only bytes that would reach the engine are the
+  // augmented query.
+  EXPECT_EQ(result->AugmentedQuery(), "rosebud " + picked);
+  EXPECT_EQ(result->DisclosedBytes(), result->AugmentedQuery().size());
+}
+
+TEST_F(UseCaseTest, PersonalizationWithoutHistoryIsHarmless) {
+  Ingest({});  // empty history
+  auto result = PersonalizeQuery(*searcher_, "rosebud");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->expansion_terms.empty());
+  EXPECT_EQ(result->AugmentedQuery(), "rosebud");
+}
+
+// ---------------------------------------------------------- UC 2.3
+
+TEST_F(UseCaseTest, TimeContextFindsTheWineSeenWithPlaneTickets) {
+  sim::WineScenario scenario = sim::MakeWineScenario();
+  Ingest(scenario.events);
+
+  // Baseline text search for "wine": many candidates, target buried.
+  auto textual = searcher_->TextualSearch(scenario.wine_query, 20);
+  ASSERT_TRUE(textual.ok());
+  EXPECT_GT(textual->pages.size(), 3u);
+
+  auto timed = TimeContextualSearch(*searcher_, scenario.wine_query,
+                                    scenario.context_query);
+  ASSERT_TRUE(timed.ok());
+  ASSERT_FALSE(timed->matches.empty());
+  EXPECT_EQ(timed->matches[0].page.url, scenario.target_url)
+      << "co-open boost must lift the remembered wine page to rank 1";
+  EXPECT_TRUE(timed->matches[0].co_open);
+  EXPECT_GT(timed->matches[0].overlap_ms, 0.0);
+  // Decoys must not be flagged co-open.
+  for (size_t i = 1; i < timed->matches.size(); ++i) {
+    if (timed->matches[i].page.url != scenario.target_url) {
+      EXPECT_FALSE(timed->matches[i].co_open)
+          << timed->matches[i].page.url;
+    }
+  }
+}
+
+TEST_F(UseCaseTest, TimeContextDegradesWithoutCloseTimes) {
+  // Section 3.2: without closes, "every page is always open" — every
+  // wine page appears co-open with the flight page and the boost stops
+  // discriminating.
+  DbOptions opts;
+  opts.env = &env_;
+  opts.sync = false;
+  auto db = storage::Db::Open("noclose.db", opts);
+  ASSERT_TRUE(db.ok());
+  prov::ProvOptions popts;
+  popts.record_close_times = false;
+  auto store = prov::ProvStore::Open(**db, popts);
+  ASSERT_TRUE(store.ok());
+  ProvenanceRecorder recorder(**store);
+  EventBus bus;
+  bus.Subscribe(&recorder);
+
+  sim::WineScenario scenario = sim::MakeWineScenario();
+  ASSERT_TRUE(bus.PublishAll(scenario.events).ok());
+  auto searcher = HistorySearcher::Open(**db, **store);
+  ASSERT_TRUE(searcher.ok());
+
+  auto timed = TimeContextualSearch(**searcher, scenario.wine_query,
+                                    scenario.context_query);
+  ASSERT_TRUE(timed.ok());
+  size_t co_open_count = 0;
+  for (const TimeContextMatch& match : timed->matches) {
+    if (match.co_open) ++co_open_count;
+  }
+  // Everything overlapping: the boost is no longer selective.
+  EXPECT_GT(co_open_count, 1u);
+}
+
+// ---------------------------------------------------------- UC 2.4
+
+TEST_F(UseCaseTest, DownloadLineageFindsRecognizableAncestor) {
+  sim::MalwareScenario scenario = sim::MakeMalwareScenario();
+  Ingest(scenario.events);
+
+  prov::NodeId download =
+      recorder_->download_map().at(scenario.download_id);
+  auto report = TraceDownload(*store_, download);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->found_recognizable);
+  EXPECT_EQ(report->recognizable_url, scenario.portal_url)
+      << "the often-visited portal is the first recognizable ancestor";
+
+  // The path runs portal -> shortener -> codec site -> ... -> download.
+  ASSERT_GE(report->path.size(), 3u);
+  EXPECT_EQ(report->path.front().url, scenario.portal_url);
+  EXPECT_NE(report->path.back().label.find("download"), std::string::npos);
+}
+
+TEST_F(UseCaseTest, DownloadLineageRespectsThreshold) {
+  sim::MalwareScenario scenario = sim::MakeMalwareScenario();
+  Ingest(scenario.events);
+  prov::NodeId download =
+      recorder_->download_map().at(scenario.download_id);
+
+  // With an absurd threshold nothing is recognizable.
+  LineageOptions options;
+  options.min_visit_count = 10000;
+  auto report = TraceDownload(*store_, download, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->found_recognizable);
+}
+
+TEST_F(UseCaseTest, DescendantDownloadsOfUntrustedPage) {
+  sim::MalwareScenario scenario = sim::MakeMalwareScenario();
+  Ingest(scenario.events);
+
+  auto downloads = DescendantDownloads(*store_, scenario.untrusted_url);
+  ASSERT_TRUE(downloads.ok());
+  // Both the codec installer AND the later bonus pack descend from the
+  // untrusted page.
+  ASSERT_EQ(downloads->size(), 2u);
+  std::vector<std::string> targets;
+  for (const auto& d : *downloads) targets.push_back(d.target_path);
+  std::sort(targets.begin(), targets.end());
+  EXPECT_EQ(targets[0], "/home/user/Downloads/bonus-pack.exe");
+  EXPECT_EQ(targets[1], scenario.download_target);
+
+  // An unrelated page has no descendant downloads.
+  auto none = DescendantDownloads(*store_, scenario.portal_url);
+  ASSERT_TRUE(none.ok());
+  // The portal is an ancestor of everything here, so it WILL see the
+  // downloads; use a leaf page instead.
+  auto missing = DescendantDownloads(*store_, "http://nowhere.example/");
+  EXPECT_TRUE(missing.status().IsNotFound());
+}
+
+TEST_F(UseCaseTest, LineageWithBudgetTruncates) {
+  sim::MalwareScenario scenario = sim::MakeMalwareScenario();
+  Ingest(scenario.events);
+  prov::NodeId download =
+      recorder_->download_map().at(scenario.download_id);
+
+  util::QueryBudget budget = util::QueryBudget::WithNodeCap(2);
+  LineageOptions options;
+  options.budget = &budget;
+  auto report = TraceDownload(*store_, download, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->truncated);
+}
+
+}  // namespace
+}  // namespace bp::search
