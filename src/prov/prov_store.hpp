@@ -29,6 +29,7 @@
 #include "graph/interval_index.hpp"
 #include "graph/store.hpp"
 #include "prov/schema.hpp"
+#include "storage/pager.hpp"
 #include "util/status.hpp"
 #include "util/time.hpp"
 
@@ -49,6 +50,28 @@ class ProvStore {
  public:
   static util::Result<std::unique_ptr<ProvStore>> Open(storage::Db& db,
                                                        ProvOptions options);
+
+  // Groups many Record*/Link* calls into ONE storage transaction (each
+  // call's own AutoTxn composes into it). Capture is bursty — a page
+  // load emits several events back to back — and per-event transactions
+  // pay the full durability cost every time; a batch pays it once. With
+  // the database opened in DurabilityMode::kWal and wal_group_commit >
+  // 1, adjacent batches additionally share a single log fsync, which is
+  // the cheap sustained-ingest path the paper's capture workload needs.
+  //
+  //   { prov::ProvStore::IngestBatch batch(*store);
+  //     ... store->RecordVisit(...); store->RecordClose(...); ...
+  //     BP_RETURN_IF_ERROR(batch.Commit()); }
+  //
+  // Destruction without Commit rolls the whole batch back.
+  class IngestBatch {
+   public:
+    explicit IngestBatch(ProvStore& store) : txn_(store.db_.pager()) {}
+    util::Status Commit() { return txn_.Commit(); }
+
+   private:
+    storage::AutoTxn txn_;
+  };
 
   // ------------------------------------------------------- ingestion
   //

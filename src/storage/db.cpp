@@ -27,6 +27,9 @@ Result<std::unique_ptr<Db>> Db::Open(const std::string& path,
   popts.env = options.env;
   popts.cache_pages = options.cache_pages;
   popts.sync = options.sync;
+  popts.durability = options.durability;
+  popts.wal_group_commit = options.wal_group_commit;
+  popts.wal_checkpoint_bytes = options.wal_checkpoint_bytes;
   BP_ASSIGN_OR_RETURN(std::unique_ptr<Pager> pager,
                       Pager::Open(path, popts));
   std::unique_ptr<Db> db(new Db(std::move(pager)));

@@ -20,6 +20,11 @@ struct DbOptions {
   Env* env = Env::Posix();
   size_t cache_pages = 4096;
   bool sync = true;
+  // See PagerOptions: kWal + wal_group_commit > 1 amortizes fsyncs
+  // across bursts of small transactions (batched provenance ingest).
+  DurabilityMode durability = DurabilityMode::kRollbackJournal;
+  uint32_t wal_group_commit = 1;
+  uint64_t wal_checkpoint_bytes = 4 << 20;
 };
 
 struct SpaceEntry {

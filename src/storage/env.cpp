@@ -4,8 +4,10 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
+#include "util/require.hpp"
 #include "util/strings.hpp"
 
 namespace bp::storage {
@@ -103,10 +105,26 @@ class PosixEnv : public Env {
   }
 };
 
+}  // namespace
+
+// Env-wide state every open MemFile can reach. shared_ptr so handles
+// outliving the env (legal for content, see MemEnv::files_) stay safe.
+struct MemEnv::Shared {
+  bool logging = false;
+  std::vector<MemEnvOp> ops;
+  uint32_t sync_cost_us = 0;
+  uint64_t sync_count = 0;
+};
+
+namespace {
+
 class MemFile : public File {
  public:
-  explicit MemFile(std::shared_ptr<std::string> content)
-      : content_(std::move(content)) {}
+  MemFile(std::shared_ptr<std::string> content, std::string name,
+          std::shared_ptr<MemEnv::Shared> shared)
+      : content_(std::move(content)),
+        name_(std::move(name)),
+        shared_(std::move(shared)) {}
 
   Status Read(uint64_t offset, size_t n, std::string* out) const override {
     const std::string& c = *content_;
@@ -117,15 +135,35 @@ class MemFile : public File {
   }
 
   Status Write(uint64_t offset, std::string_view data) override {
+    if (shared_->logging) {
+      shared_->ops.push_back(MemEnvOp{MemEnvOp::Kind::kWrite, name_, offset,
+                                      std::string(data), 0});
+    }
     std::string& c = *content_;
     if (offset + data.size() > c.size()) c.resize(offset + data.size());
     c.replace(offset, data.size(), data);
     return Status::Ok();
   }
 
-  Status Sync() override { return Status::Ok(); }
+  Status Sync() override {
+    ++shared_->sync_count;
+    if (shared_->sync_cost_us > 0) {
+      // Busy-wait (steady clock) so MemEnv benchmarks charge wall-clock
+      // time per fsync the way a real device would, deterministically
+      // and without involving the scheduler.
+      auto until = std::chrono::steady_clock::now() +
+                   std::chrono::microseconds(shared_->sync_cost_us);
+      while (std::chrono::steady_clock::now() < until) {
+      }
+    }
+    return Status::Ok();
+  }
 
   Status Truncate(uint64_t size) override {
+    if (shared_->logging) {
+      shared_->ops.push_back(
+          MemEnvOp{MemEnvOp::Kind::kTruncate, name_, 0, {}, size});
+    }
     content_->resize(size);
     return Status::Ok();
   }
@@ -136,6 +174,8 @@ class MemFile : public File {
 
  private:
   std::shared_ptr<std::string> content_;
+  std::string name_;
+  std::shared_ptr<MemEnv::Shared> shared_;
 };
 
 }  // namespace
@@ -145,15 +185,21 @@ Env* Env::Posix() {
   return &env;
 }
 
+MemEnv::MemEnv() : shared_(std::make_shared<Shared>()) {}
+
 Result<std::unique_ptr<File>> MemEnv::Open(const std::string& name) {
   auto it = files_.find(name);
   if (it == files_.end()) {
     it = files_.emplace(name, std::make_shared<std::string>()).first;
   }
-  return {std::unique_ptr<File>(new MemFile(it->second))};
+  return {std::unique_ptr<File>(new MemFile(it->second, name, shared_))};
 }
 
 Status MemEnv::Remove(const std::string& name) {
+  if (shared_->logging && files_.count(name) > 0) {
+    shared_->ops.push_back(
+        MemEnvOp{MemEnvOp::Kind::kRemove, name, 0, {}, 0});
+  }
   files_.erase(name);
   return Status::Ok();
 }
@@ -174,5 +220,54 @@ void MemEnv::RestoreAll(const std::map<std::string, std::string>& snapshot) {
     files_[name] = std::make_shared<std::string>(content);
   }
 }
+
+void MemEnv::StartOpLog() {
+  shared_->ops.clear();
+  shared_->logging = true;
+}
+
+std::vector<MemEnvOp> MemEnv::StopOpLog() {
+  shared_->logging = false;
+  return std::move(shared_->ops);
+}
+
+size_t MemEnv::OpLogSize() const { return shared_->ops.size(); }
+
+Status MemEnv::ApplyOps(const std::vector<MemEnvOp>& ops, size_t count,
+                        int64_t partial_bytes_of_last) {
+  BP_REQUIRE(count <= ops.size());
+  BP_REQUIRE(partial_bytes_of_last < 0 || count < ops.size(),
+             "partial op requires ops[count] to exist");
+  // Replay through regular handles so the replay itself is not logged
+  // twice (logging is normally off here anyway).
+  auto apply = [&](const MemEnvOp& op, int64_t limit) -> Status {
+    switch (op.kind) {
+      case MemEnvOp::Kind::kWrite: {
+        BP_ASSIGN_OR_RETURN(std::unique_ptr<File> f, Open(op.file));
+        std::string_view data = op.data;
+        if (limit >= 0) data = data.substr(0, static_cast<size_t>(limit));
+        return f->Write(op.offset, data);
+      }
+      case MemEnvOp::Kind::kTruncate: {
+        BP_ASSIGN_OR_RETURN(std::unique_ptr<File> f, Open(op.file));
+        return f->Truncate(op.size);
+      }
+      case MemEnvOp::Kind::kRemove:
+        return Remove(op.file);
+    }
+    return Status::Ok();
+  };
+  for (size_t i = 0; i < count; ++i) {
+    BP_RETURN_IF_ERROR(apply(ops[i], -1));
+  }
+  if (partial_bytes_of_last >= 0) {
+    BP_RETURN_IF_ERROR(apply(ops[count], partial_bytes_of_last));
+  }
+  return Status::Ok();
+}
+
+void MemEnv::set_sync_cost_us(uint32_t us) { shared_->sync_cost_us = us; }
+
+uint64_t MemEnv::sync_count() const { return shared_->sync_count; }
 
 }  // namespace bp::storage

@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/status.hpp"
 
@@ -46,11 +47,26 @@ class Env {
   static Env* Posix();
 };
 
+// One mutating filesystem operation, as recorded by MemEnv's op log.
+// Crash-injection tests replay a prefix of the log (optionally cutting
+// the final write mid-way) to reconstruct the disk state a power loss at
+// that exact byte boundary would have left behind.
+struct MemEnvOp {
+  enum class Kind { kWrite, kTruncate, kRemove };
+  Kind kind = Kind::kWrite;
+  std::string file;
+  uint64_t offset = 0;  // kWrite
+  std::string data;     // kWrite
+  uint64_t size = 0;    // kTruncate
+};
+
 // In-memory environment. Multiple Open() calls on the same name share
 // content (as with a real filesystem), so a "reopened database" sees the
 // bytes the previous handle wrote.
 class MemEnv : public Env {
  public:
+  MemEnv();
+
   Result<std::unique_ptr<File>> Open(const std::string& name) override;
   Status Remove(const std::string& name) override;
   bool Exists(const std::string& name) const override;
@@ -61,10 +77,40 @@ class MemEnv : public Env {
   std::map<std::string, std::string> SnapshotAll() const;
   void RestoreAll(const std::map<std::string, std::string>& snapshot);
 
+  // --- op log (crash-injection support) ------------------------------
+  // While enabled, every mutating operation on any file of this env is
+  // recorded. Combined with SnapshotAll/RestoreAll this lets a test
+  // crash "at every prefix of the write sequence": restore the starting
+  // snapshot, replay the first N ops (ApplyOps), reopen, and check
+  // recovery.
+  void StartOpLog();
+  // Stops recording and returns the log.
+  std::vector<MemEnvOp> StopOpLog();
+  // Ops recorded so far (valid while logging): lets a test mark logical
+  // boundaries — "state X holds once the first N ops are on disk".
+  size_t OpLogSize() const;
+  // Replays ops[0, count) onto this env; when partial_bytes_of_last is
+  // >= 0 also applies that many leading bytes of ops[count] (a torn
+  // final write).
+  Status ApplyOps(const std::vector<MemEnvOp>& ops, size_t count,
+                  int64_t partial_bytes_of_last = -1);
+
+  // --- fsync accounting / modeling -----------------------------------
+  // Simulated device sync latency: File::Sync busy-waits this long, so
+  // wall-clock bench numbers on MemEnv reflect fsync COUNT the way a
+  // real disk would. Default 0 (sync is free, as before).
+  void set_sync_cost_us(uint32_t us);
+  uint64_t sync_count() const;
+
+  // Env-wide state reachable from every open MemFile (implementation
+  // detail; public only so env.cpp's file class can name it).
+  struct Shared;
+
  private:
   // shared_ptr: open handles keep content alive across Remove (POSIX
   // unlink semantics).
   std::map<std::string, std::shared_ptr<std::string>> files_;
+  std::shared_ptr<Shared> shared_;
 };
 
 }  // namespace bp::storage

@@ -6,6 +6,8 @@
 #include "util/require.hpp"
 #include "util/serde.hpp"
 #include "util/strings.hpp"
+#include "wal/checkpointer.hpp"
+#include "wal/wal_writer.hpp"
 
 namespace bp::storage {
 
@@ -54,14 +56,22 @@ char* PageRef::mutable_data() {
 
 // ----------------------------------------------------------------- Pager
 
+Pager::Pager(std::string path, PagerOptions options)
+    : path_(std::move(path)), options_(options) {}
+
 Result<std::unique_ptr<Pager>> Pager::Open(std::string path,
                                            PagerOptions options) {
   std::unique_ptr<Pager> pager(new Pager(std::move(path), options));
   BP_ASSIGN_OR_RETURN(pager->file_, options.env->Open(pager->path_));
 
-  // A hot journal from a crashed commit must be rolled back before the
-  // header is trusted.
+  // Recovery runs regardless of the requested durability mode, so a
+  // database left behind by a crash in EITHER mode opens correctly: a
+  // hot journal from a crashed journal-mode commit is rolled back, then
+  // the committed prefix of any surviving write-ahead log is replayed.
+  // (The two files never coexist in practice — each mode retires its own
+  // log — but recovering both is cheap and makes mode switches safe.)
   BP_RETURN_IF_ERROR(pager->RecoverFromJournal());
+  BP_RETURN_IF_ERROR(pager->RecoverFromWal());
 
   BP_ASSIGN_OR_RETURN(uint64_t size, pager->file_->Size());
   if (size == 0) {
@@ -74,12 +84,26 @@ Result<std::unique_ptr<Pager>> Pager::Open(std::string path,
     }
     BP_RETURN_IF_ERROR(pager->LoadHeader());
   }
-  pager->committed_file_pages_ = pager->page_count_;
+  pager->main_file_pages_ = pager->page_count_;
+
+  if (pager->options_.durability == DurabilityMode::kWal) {
+    BP_ASSIGN_OR_RETURN(pager->wal_,
+                        wal::WalWriter::Open(options.env, pager->WalPath()));
+  }
   return pager;
 }
 
 Pager::~Pager() {
   if (in_txn_) (void)Rollback();
+  if (wal_ != nullptr) {
+    // Clean close: make every commit durable, fold the log into the
+    // database file, and retire it. The log is only removed when the
+    // fold fully succeeded; on failure it stays behind as the sole
+    // copy of the committed pages, and the next Open replays it.
+    bool folded = Checkpoint().ok();  // Checkpoint syncs the log first
+    wal_.reset();
+    if (folded) (void)options_.env->Remove(WalPath());
+  }
 }
 
 Status Pager::InitializeNewDb() {
@@ -89,19 +113,14 @@ Status Pager::InitializeNewDb() {
   catalog_root_ = kNoPage;
   commit_seq_ = 0;
 
-  Writer w;
-  w.PutU32(kDbMagic);
-  w.PutU32(kDbVersion);
-  w.PutU32(kPageSize);
-  w.PutU32(page_count_);
-  w.PutU32(freelist_head_);
-  w.PutU32(freelist_count_);
-  w.PutU32(catalog_root_);
-  w.PutU64(commit_seq_);
-  std::string page(std::move(w).data());
+  std::string page = SerializedHeader();
   page.resize(kPageSize, '\0');
   BP_RETURN_IF_ERROR(file_->Write(0, page));
-  if (options_.sync) BP_RETURN_IF_ERROR(file_->Sync());
+  if (options_.sync) {
+    BP_RETURN_IF_ERROR(file_->Sync());
+    ++stats_.fsyncs;
+    stats_.bytes_synced += kPageSize;
+  }
   return Status::Ok();
 }
 
@@ -135,8 +154,9 @@ Status Pager::LoadHeader() {
   return Status::Ok();
 }
 
-Status Pager::WriteHeaderToFrame() {
-  BP_ASSIGN_OR_RETURN(PageRef ref, GetMutable(0));
+// The single serializer for the page-0 header fields; LoadHeader and
+// Rollback's cached-header reload are the matching deserializers.
+std::string Pager::SerializedHeader() const {
   Writer w;
   w.PutU32(kDbMagic);
   w.PutU32(kDbVersion);
@@ -146,8 +166,13 @@ Status Pager::WriteHeaderToFrame() {
   w.PutU32(freelist_count_);
   w.PutU32(catalog_root_);
   w.PutU64(commit_seq_);
-  const std::string& bytes = w.data();
-  BP_CHECK(bytes.size() <= kPageSize);
+  BP_CHECK(w.size() <= kPageSize);
+  return std::move(w).data();
+}
+
+Status Pager::WriteHeaderToFrame() {
+  BP_ASSIGN_OR_RETURN(PageRef ref, GetMutable(0));
+  std::string bytes = SerializedHeader();
   std::copy(bytes.begin(), bytes.end(), ref.mutable_data());
   return Status::Ok();
 }
@@ -201,13 +226,85 @@ Status Pager::RecoverFromJournal() {
     if (valid) {
       BP_RETURN_IF_ERROR(
           file_->Truncate(uint64_t{orig_page_count} * kPageSize));
-      if (options_.sync) BP_RETURN_IF_ERROR(file_->Sync());
+      if (options_.sync) {
+        BP_RETURN_IF_ERROR(file_->Sync());
+        ++stats_.fsyncs;
+        stats_.bytes_synced += uint64_t{entry_count} * kPageSize;
+      }
     }
   }
   // Whether replayed or found incomplete (crash before the journal fsync,
   // database untouched), the journal is now obsolete.
   jf.reset();
   return options_.env->Remove(jpath);
+}
+
+Status Pager::RecoverFromWal() {
+  const std::string wpath = WalPath();
+  if (!options_.env->Exists(wpath)) return Status::Ok();
+
+  // Fold whatever committed prefix of the log survived. A torn tail —
+  // the transaction whose fsync never finished — is ignored by the
+  // reader; an empty or header-only log folds nothing.
+  BP_ASSIGN_OR_RETURN(wal::CheckpointResult folded,
+                      wal::Checkpointer::Fold(options_.env, file_.get(),
+                                              wpath, options_.sync));
+  if (folded.synced_db) {
+    ++stats_.fsyncs;
+    stats_.bytes_synced += folded.bytes_written;
+  }
+  // Idempotent up to here: a crash before this Remove just refolds on
+  // the next Open.
+  return options_.env->Remove(wpath);
+}
+
+Status Pager::SyncWal() {
+  if (wal_ == nullptr) return Status::Ok();
+  if (!options_.sync) {
+    wal_unsynced_commits_ = 0;
+    return Status::Ok();
+  }
+  // Reset the window only once the fsync SUCCEEDS: a failed sync leaves
+  // the counter full, so the very next commit retries instead of
+  // accumulating another whole window of unsynced transactions.
+  BP_ASSIGN_OR_RETURN(uint64_t made_durable, wal_->Sync());
+  wal_unsynced_commits_ = 0;
+  if (made_durable > 0) {
+    ++stats_.fsyncs;
+    stats_.bytes_synced += made_durable;
+  }
+  return Status::Ok();
+}
+
+Status Pager::Checkpoint() {
+  BP_REQUIRE(wal_ != nullptr, "Checkpoint requires WAL durability mode");
+  BP_REQUIRE(!in_txn_, "Checkpoint during a transaction");
+  // The log must be durable before its pages land in the database file
+  // (log ahead of data): otherwise a crash could leave the database with
+  // pages from a transaction the log cannot prove committed.
+  BP_RETURN_IF_ERROR(SyncWal());
+  BP_ASSIGN_OR_RETURN(wal::CheckpointResult folded,
+                      wal::Checkpointer::Fold(options_.env, file_.get(),
+                                              WalPath(), options_.sync));
+  if (folded.ran) {
+    if (folded.synced_db) {
+      ++stats_.fsyncs;
+      stats_.bytes_synced += folded.bytes_written;
+    }
+    main_file_pages_ = std::max(main_file_pages_, folded.page_count);
+  }
+  BP_RETURN_IF_ERROR(wal_->ResetToHeader());
+  wal_index_.clear();
+  ++stats_.checkpoints;
+  return Status::Ok();
+}
+
+Status Pager::MaybeCheckpoint() {
+  if (wal_ == nullptr || in_txn_ ||
+      wal_->SizeBytes() < options_.wal_checkpoint_bytes) {
+    return Status::Ok();
+  }
+  return Checkpoint();
 }
 
 Status Pager::Begin() {
@@ -237,6 +334,36 @@ Status Pager::Commit() {
               return a->id < b->id;
             });
 
+  if (options_.durability == DurabilityMode::kWal) {
+    BP_RETURN_IF_ERROR(CommitViaWal(dirty));
+  } else {
+    BP_RETURN_IF_ERROR(CommitViaJournal(dirty));
+    main_file_pages_ = page_count_;
+  }
+
+  for (internal::Frame* frame : dirty) frame->dirty = false;
+  before_images_.clear();
+  fresh_pages_.clear();
+  in_txn_ = false;
+  ++stats_.commits;
+  MaybeEvict();
+
+  // Group commit: the transaction is fully retired above BEFORE the
+  // fsync is attempted, because once its commit frame is in the log it
+  // IS committed — a sync failure here means durability is not yet
+  // guaranteed (the caller may retry SyncWal), never that the commit
+  // can be rolled back. Flushing inside CommitViaWal would let an
+  // fsync error leave in_txn_ set and a later Rollback tear cached
+  // pages away from the log's committed images.
+  if (options_.durability == DurabilityMode::kWal &&
+      wal_unsynced_commits_ >= options_.wal_group_commit) {
+    BP_RETURN_IF_ERROR(SyncWal());
+  }
+  // Fold the log into the main file if it crossed the size threshold.
+  return MaybeCheckpoint();
+}
+
+Status Pager::CommitViaJournal(const std::vector<internal::Frame*>& dirty) {
   // Phase 1: persist before-images so a mid-write crash can be undone.
   if (!before_images_.empty()) {
     Writer w;
@@ -254,7 +381,11 @@ Status Pager::Commit() {
                         options_.env->Open(JournalPath()));
     BP_RETURN_IF_ERROR(jf->Truncate(0));
     BP_RETURN_IF_ERROR(jf->Write(0, w.data()));
-    if (options_.sync) BP_RETURN_IF_ERROR(jf->Sync());
+    if (options_.sync) {
+      BP_RETURN_IF_ERROR(jf->Sync());
+      ++stats_.fsyncs;
+      stats_.bytes_synced += w.size();
+    }
   }
 
   if (crash_after_journal_) {
@@ -267,37 +398,54 @@ Status Pager::Commit() {
   ++commit_seq_;
   for (internal::Frame* frame : dirty) {
     if (frame->id == 0) {
-      // Refresh the header bytes with the final committed field values.
-      Writer w;
-      w.PutU32(kDbMagic);
-      w.PutU32(kDbVersion);
-      w.PutU32(kPageSize);
-      w.PutU32(page_count_);
-      w.PutU32(freelist_head_);
-      w.PutU32(freelist_count_);
-      w.PutU32(catalog_root_);
-      w.PutU64(commit_seq_);
-      const std::string& bytes = w.data();
-      std::copy(bytes.begin(), bytes.end(), frame->data.data());
+      // Refresh the header bytes with the final committed field values
+      // (mid-transaction WriteHeaderToFrame calls capture intermediates).
+      std::string header = SerializedHeader();
+      std::copy(header.begin(), header.end(), frame->data.data());
     }
     BP_RETURN_IF_ERROR(
         file_->Write(uint64_t{frame->id} * kPageSize, frame->data));
     ++stats_.pages_written;
   }
-  if (options_.sync) BP_RETURN_IF_ERROR(file_->Sync());
+  if (options_.sync) {
+    BP_RETURN_IF_ERROR(file_->Sync());
+    ++stats_.fsyncs;
+    stats_.bytes_synced += dirty.size() * uint64_t{kPageSize};
+  }
 
   // Phase 3: the commit is durable; retire the journal.
   if (!before_images_.empty()) {
     BP_RETURN_IF_ERROR(options_.env->Remove(JournalPath()));
   }
+  return Status::Ok();
+}
 
-  for (internal::Frame* frame : dirty) frame->dirty = false;
-  committed_file_pages_ = page_count_;
-  before_images_.clear();
-  fresh_pages_.clear();
-  in_txn_ = false;
-  ++stats_.commits;
-  MaybeEvict();
+Status Pager::CommitViaWal(const std::vector<internal::Frame*>& dirty) {
+  ++commit_seq_;
+  // One page-image frame per dirty page, then the commit frame, appended
+  // to the log in a single sequential write. The database file is not
+  // touched; that is the checkpointer's job.
+  std::vector<std::pair<PageId, uint64_t>> offsets;
+  offsets.reserve(dirty.size());
+  for (internal::Frame* frame : dirty) {
+    if (frame->id == 0) {
+      // Refresh the header bytes with the final committed field values
+      // (mid-transaction WriteHeaderToFrame calls capture intermediates).
+      std::string header = SerializedHeader();
+      std::copy(header.begin(), header.end(), frame->data.data());
+    }
+    offsets.emplace_back(frame->id, wal_->AddPage(frame->id, frame->data));
+  }
+  Status appended = wal_->CommitTxn(commit_seq_, page_count_);
+  if (!appended.ok()) {
+    wal_->AbandonTxn();
+    --commit_seq_;
+    return appended;
+  }
+  for (const auto& [id, offset] : offsets) wal_index_[id] = offset;
+  stats_.wal_frames += dirty.size();
+  stats_.pages_written += dirty.size();
+  ++wal_unsynced_commits_;
   return Status::Ok();
 }
 
@@ -356,7 +504,14 @@ Result<internal::Frame*> Pager::FetchFrame(PageId id) {
   auto frame = std::make_unique<internal::Frame>();
   frame->id = id;
   frame->lru_tick = ++lru_clock_;
-  if (id < committed_file_pages_) {
+  auto wal_hit = wal_index_.find(id);
+  if (wal_hit != wal_index_.end()) {
+    // Latest committed version lives in the write-ahead log (the page
+    // was evicted after a WAL commit and not yet checkpointed).
+    BP_RETURN_IF_ERROR(
+        wal_->ReadPayload(wal_hit->second, kPageSize, &frame->data));
+    ++stats_.pages_read;
+  } else if (id < main_file_pages_) {
     BP_RETURN_IF_ERROR(
         file_->Read(uint64_t{id} * kPageSize, kPageSize, &frame->data));
     ++stats_.pages_read;

@@ -4,15 +4,41 @@
 // header (magic, page count, freelist, catalog root). All reads and
 // writes go through pinned page references; mutations are transactional.
 //
-// Durability protocol (rollback journal, as in SQLite's journal mode):
+// Two durability modes (PagerOptions::durability):
+//
+// kRollbackJournal (SQLite journal mode; 2 fsyncs per commit):
 //   1. During a transaction, dirty pages live only in the cache; the
 //      first mutation of each pre-existing page captures its before-image.
 //   2. Commit: write all before-images to <path>.journal, fsync it, then
-//      write the dirty pages to the database file, fsync it, then truncate
+//      write the dirty pages to the database file, fsync it, then remove
 //      the journal. A crash before the journal fsync leaves the database
 //      untouched; a crash after it is rolled back on the next Open by
 //      replaying before-images and truncating to the journaled page count.
 //   3. Rollback: restore before-images in cache; nothing reached the file.
+//
+// kWal (write-ahead log; 1 fsync per commit, or per GROUP of commits):
+//   1. Commit appends the dirty pages plus a commit record to <path>.wal
+//      in one sequential write (see wal/wal_format.hpp) and fsyncs the
+//      log — the database file is not touched at all. With
+//      wal_group_commit = N, the fsync is deferred until N transactions
+//      have committed, so N commits share one fsync; a crash may lose
+//      the tail of not-yet-synced transactions but always recovers a
+//      consistent committed prefix (each transaction stays atomic).
+//   2. Reads hit the page cache; on a miss the latest committed version
+//      is fetched from the log (wal_index_) or, failing that, the
+//      database file.
+//   3. A checkpoint — when the log crosses wal_checkpoint_bytes, and at
+//      clean close — folds the latest committed pages back into the
+//      database file, fsyncs it, and truncates the log. Pager::Open
+//      replays whatever committed prefix of the log survives a crash,
+//      stopping at the first torn or bad-checksum frame.
+//
+// Pick kRollbackJournal for read-mostly workloads with rare, large
+// transactions; pick kWal for sustained bursty ingest (the browser
+// provenance capture path), where commit latency is dominated by fsync
+// count and group commit amortizes it. Either mode recovers a database
+// left behind by the other (Open runs both recoveries), so the mode is
+// a per-open choice, not a file-format commitment.
 //
 // Not thread-safe: the engine is single-writer by design (the paper's
 // workload is one local browser).
@@ -22,12 +48,22 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "storage/env.hpp"
 #include "storage/page.hpp"
 #include "util/status.hpp"
 
+namespace bp::wal {
+class WalWriter;
+}  // namespace bp::wal
+
 namespace bp::storage {
+
+enum class DurabilityMode {
+  kRollbackJournal,  // before-images to <path>.journal; 2 fsyncs/commit
+  kWal,              // redo log to <path>.wal; <= 1 fsync/commit
+};
 
 struct PagerOptions {
   Env* env = Env::Posix();
@@ -36,6 +72,14 @@ struct PagerOptions {
   size_t cache_pages = 4096;
   // When false, skips fsync (faster tests/benches; crash safety off).
   bool sync = true;
+  DurabilityMode durability = DurabilityMode::kRollbackJournal;
+  // kWal only: number of committed transactions that share one log fsync.
+  // 1 = every commit is durable on return; N > 1 trades a bounded
+  // durability lag (never consistency) for N× fewer fsyncs.
+  uint32_t wal_group_commit = 1;
+  // kWal only: checkpoint (fold log into the database file) once the log
+  // exceeds this size.
+  uint64_t wal_checkpoint_bytes = 4 << 20;
 };
 
 struct PagerStats {
@@ -46,6 +90,14 @@ struct PagerStats {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t evictions = 0;
+  // Durability cost, counted in BOTH durability modes: fsync calls
+  // issued, and the bytes each fsync made durable (0 when sync=false —
+  // nothing is made durable).
+  uint64_t fsyncs = 0;
+  uint64_t bytes_synced = 0;
+  // kWal only.
+  uint64_t wal_frames = 0;   // page images appended to the log
+  uint64_t checkpoints = 0;  // threshold + close-time folds
 };
 
 class Pager;
@@ -132,17 +184,35 @@ class Pager {
     crash_after_journal_ = v;
   }
 
+  // kWal only: makes every commit so far durable (flushes a partially
+  // filled group-commit window) without waiting for the window to fill.
+  // No-op in journal mode or when nothing is pending.
+  util::Status SyncWal();
+
+  // kWal only: forces a checkpoint now (normally driven by
+  // wal_checkpoint_bytes and clean close). Requires no open transaction.
+  util::Status Checkpoint();
+
+  DurabilityMode durability() const { return options_.durability; }
+
  private:
   friend class PageRef;
 
-  Pager(std::string path, PagerOptions options)
-      : path_(std::move(path)), options_(options) {}
+  // Out of line: members include unique_ptr<wal::WalWriter>, which is an
+  // incomplete type here.
+  Pager(std::string path, PagerOptions options);
 
   util::Status InitializeNewDb();
   util::Status LoadHeader();
+  std::string SerializedHeader() const;
   util::Status WriteHeaderToFrame();
   util::Status RecoverFromJournal();
+  util::Status RecoverFromWal();
+  util::Status CommitViaJournal(const std::vector<internal::Frame*>& dirty);
+  util::Status CommitViaWal(const std::vector<internal::Frame*>& dirty);
+  util::Status MaybeCheckpoint();
   std::string JournalPath() const { return path_ + ".journal"; }
+  std::string WalPath() const { return path_ + ".wal"; }
 
   util::Result<internal::Frame*> FetchFrame(PageId id);
   void JournalBeforeImage(internal::Frame& frame);
@@ -170,8 +240,18 @@ class Pager {
   // Pages allocated in this transaction (no before-image; rollback drops).
   std::unordered_map<PageId, bool> fresh_pages_;
   uint32_t txn_orig_page_count_ = 0;
-  // Pages physically present in the file (== page_count_ at last commit).
-  uint32_t committed_file_pages_ = 0;
+  // Pages physically valid in the main database file. In journal mode
+  // this tracks page_count_ at the last commit; in WAL mode it only
+  // advances at checkpoints — committed pages beyond it live in the
+  // log and are fetched through wal_index_.
+  uint32_t main_file_pages_ = 0;
+
+  // --- WAL state (kWal mode only) ------------------------------------
+  std::unique_ptr<wal::WalWriter> wal_;
+  // page id -> file offset of its latest committed image in the log.
+  std::unordered_map<PageId, uint64_t> wal_index_;
+  // Committed transactions whose log records are not yet fsynced.
+  uint32_t wal_unsynced_commits_ = 0;
 
   bool crash_after_journal_ = false;
   PagerStats stats_;

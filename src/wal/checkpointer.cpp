@@ -1,0 +1,39 @@
+#include "wal/checkpointer.hpp"
+
+#include "util/serde.hpp"
+
+namespace bp::wal {
+
+using storage::File;
+using storage::kPageSize;
+using util::Result;
+using util::Status;
+
+Result<CheckpointResult> Checkpointer::Fold(Env* env, File* db_file,
+                                            const std::string& wal_path,
+                                            bool sync) {
+  CheckpointResult result;
+  auto contents = WalReader::ReadCommitted(env, wal_path);
+  if (!contents.ok()) {
+    if (contents.status().IsNotFound()) return result;  // nothing to fold
+    return contents.status();
+  }
+  if (contents->commits == 0) return result;
+
+  for (const auto& [id, image] : contents->pages) {
+    BP_RETURN_IF_ERROR(
+        db_file->Write(uint64_t{id} * kPageSize, image));
+    ++result.pages_folded;
+    result.bytes_written += image.size();
+  }
+  if (sync) {
+    BP_RETURN_IF_ERROR(db_file->Sync());
+    result.synced_db = true;
+  }
+  result.ran = true;
+  result.commits = contents->commits;
+  result.page_count = contents->last_page_count;
+  return result;
+}
+
+}  // namespace bp::wal

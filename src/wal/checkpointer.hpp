@@ -1,0 +1,46 @@
+// Checkpointer: folds the committed contents of a write-ahead log back
+// into the main database file.
+//
+// Protocol (both call sites follow it; Fold only does step 2):
+//   1. The caller makes sure the log is durable (WalWriter::Sync) — the
+//      log must always be AHEAD of the database file, otherwise a crash
+//      could leave the database holding pages from a transaction the log
+//      does not know committed.
+//   2. Fold() writes the latest committed image of every page in the log
+//      into the database file, then fsyncs it (when sync=true).
+//   3. The caller retires the log (WalWriter::ResetToHeader at runtime,
+//      Env::Remove during open-time recovery). A crash between 2 and 3
+//      is harmless: folding is idempotent, the next open refolds.
+//
+// Used at two points: Pager::Open (crash recovery = a fold of whatever
+// committed prefix survives) and at runtime when the log crosses the
+// size threshold or the pager closes cleanly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "storage/env.hpp"
+#include "wal/wal_reader.hpp"
+
+namespace bp::wal {
+
+struct CheckpointResult {
+  bool ran = false;            // false: no log / no committed frames
+  uint64_t pages_folded = 0;
+  uint64_t bytes_written = 0;
+  uint64_t commits = 0;        // committed transactions folded
+  uint32_t page_count = 0;     // database page count after the fold
+  bool synced_db = false;
+};
+
+class Checkpointer {
+ public:
+  // Folds committed frames of `wal_path` into `db_file` (step 2 above).
+  static util::Result<CheckpointResult> Fold(Env* env,
+                                             storage::File* db_file,
+                                             const std::string& wal_path,
+                                             bool sync);
+};
+
+}  // namespace bp::wal

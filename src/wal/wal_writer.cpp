@@ -1,0 +1,100 @@
+#include "wal/wal_writer.hpp"
+
+#include "util/hash.hpp"
+#include "util/require.hpp"
+
+namespace bp::wal {
+
+using util::Result;
+using util::Status;
+using util::Writer;
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(Env* env,
+                                                   std::string path) {
+  BP_ASSIGN_OR_RETURN(std::unique_ptr<File> file, env->Open(path));
+  BP_RETURN_IF_ERROR(file->Truncate(0));
+  Writer w;
+  w.PutU32(kWalMagic);
+  w.PutU32(kWalVersion);
+  w.PutU32(storage::kPageSize);
+  w.PutU64(kWalSalt);
+  BP_CHECK(w.size() == kWalFileHeaderBytes);
+  BP_RETURN_IF_ERROR(file->Write(0, w.data()));
+
+  std::unique_ptr<WalWriter> writer(
+      new WalWriter(std::move(file), std::move(path)));
+  writer->file_bytes_ = kWalFileHeaderBytes;
+  writer->synced_bytes_ = 0;  // the header itself is not yet durable
+  return writer;
+}
+
+void WalWriter::AppendFrame(FrameType type, PageId page_id,
+                            std::string_view payload) {
+  size_t frame_start = buffer_.size();
+  buffer_.PutU8(static_cast<uint8_t>(type));
+  buffer_.PutU32(page_id);
+  buffer_.PutU64(pending_lsn_++);
+  buffer_.PutU32(static_cast<uint32_t>(payload.size()));
+  buffer_.PutRaw(payload);
+  std::string_view body(buffer_.data().data() + frame_start,
+                        buffer_.size() - frame_start);
+  pending_checksum_ = util::Fnv1a64(body, pending_checksum_);
+  buffer_.PutU64(pending_checksum_);
+}
+
+uint64_t WalWriter::AddPage(PageId id, std::string_view data) {
+  BP_REQUIRE(data.size() == storage::kPageSize,
+             "WAL page frames carry whole pages");
+  uint64_t payload_offset =
+      file_bytes_ + buffer_.size() + kWalFrameHeaderBytes;
+  AppendFrame(FrameType::kPageImage, id, data);
+  return payload_offset;
+}
+
+Status WalWriter::CommitTxn(uint64_t commit_seq, uint32_t page_count) {
+  Writer payload;
+  payload.PutU64(commit_seq);
+  payload.PutU32(page_count);
+  AppendFrame(FrameType::kCommit, storage::kNoPage, payload.data());
+
+  BP_RETURN_IF_ERROR(file_->Write(file_bytes_, buffer_.data()));
+  file_bytes_ += buffer_.size();
+  chain_checksum_ = pending_checksum_;
+  next_lsn_ = pending_lsn_;
+  buffer_.Clear();
+  return Status::Ok();
+}
+
+void WalWriter::AbandonTxn() {
+  buffer_.Clear();
+  pending_checksum_ = chain_checksum_;
+  pending_lsn_ = next_lsn_;
+}
+
+Result<uint64_t> WalWriter::Sync() {
+  BP_CHECK(buffer_.size() == 0, "Sync with an uncommitted buffered txn");
+  if (file_bytes_ == synced_bytes_) return uint64_t{0};
+  BP_RETURN_IF_ERROR(file_->Sync());
+  uint64_t made_durable = file_bytes_ - synced_bytes_;
+  synced_bytes_ = file_bytes_;
+  return made_durable;
+}
+
+Status WalWriter::ResetToHeader() {
+  BP_CHECK(buffer_.size() == 0, "checkpoint during a buffered txn");
+  BP_RETURN_IF_ERROR(file_->Truncate(kWalFileHeaderBytes));
+  file_bytes_ = kWalFileHeaderBytes;
+  synced_bytes_ = std::min(synced_bytes_, file_bytes_);
+  chain_checksum_ = kWalSalt;
+  pending_checksum_ = kWalSalt;
+  next_lsn_ = 1;
+  pending_lsn_ = 1;
+  return Status::Ok();
+}
+
+Status WalWriter::ReadPayload(uint64_t offset, size_t n,
+                              std::string* out) const {
+  return file_->Read(offset, n, out);
+}
+
+}  // namespace bp::wal

@@ -1,0 +1,86 @@
+// WalWriter: append side of the write-ahead log.
+//
+// Usage per transaction (driven by the Pager):
+//   for each dirty page: offset = writer.AddPage(id, bytes);
+//   writer.CommitTxn(commit_seq, page_count);
+//   if (group window full) writer.Sync();
+//
+// AddPage buffers frames in memory; CommitTxn appends the buffered page
+// frames plus a commit frame to the file in ONE File::Write call, so a
+// commit is a single sequential append. Sync() is separate so the caller
+// can coalesce several committed transactions into one fsync (group
+// commit). Everything written by CommitTxn is immediately visible to
+// ReadPayload (the pager reads evicted pages back out of the log);
+// durability, not visibility, is what Sync() adds.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "storage/env.hpp"
+#include "util/serde.hpp"
+#include "wal/wal_format.hpp"
+
+namespace bp::wal {
+
+using storage::Env;
+using storage::File;
+using storage::PageId;
+
+class WalWriter {
+ public:
+  // Opens `path`, truncating any previous contents and writing a fresh
+  // file header. Recovery (wal_reader + checkpointer) must run BEFORE
+  // construction; an existing log is assumed already folded into the
+  // database file.
+  static util::Result<std::unique_ptr<WalWriter>> Open(Env* env,
+                                                       std::string path);
+
+  // Buffers one page-image frame for the transaction being committed.
+  // Returns the file offset the payload will occupy once CommitTxn
+  // appends it (valid only if CommitTxn succeeds).
+  uint64_t AddPage(PageId id, std::string_view data);
+
+  // Appends the buffered page frames and a commit frame. No fsync.
+  util::Status CommitTxn(uint64_t commit_seq, uint32_t page_count);
+
+  // Drops buffered frames without writing (transaction rolled back
+  // between AddPage and CommitTxn — cannot happen today, defensive).
+  void AbandonTxn();
+
+  // Fsyncs the file if any bytes were appended since the last sync.
+  // Returns the number of bytes this call made durable (0 = no-op).
+  util::Result<uint64_t> Sync();
+
+  // Truncates back to the file header after a checkpoint folded the log
+  // into the database file. Resets the checksum chain and LSN counter.
+  util::Status ResetToHeader();
+
+  // Reads `n` payload bytes at `offset` (as returned by AddPage).
+  util::Status ReadPayload(uint64_t offset, size_t n, std::string* out) const;
+
+  // Total file bytes (header + appended frames).
+  uint64_t SizeBytes() const { return file_bytes_; }
+  uint64_t bytes_since_sync() const { return file_bytes_ - synced_bytes_; }
+  uint64_t next_lsn() const { return next_lsn_; }
+
+ private:
+  WalWriter(std::unique_ptr<File> file, std::string path)
+      : file_(std::move(file)), path_(std::move(path)) {}
+
+  void AppendFrame(FrameType type, PageId page_id, std::string_view payload);
+
+  std::unique_ptr<File> file_;
+  std::string path_;
+  util::Writer buffer_;        // frames of the in-flight transaction
+  uint64_t file_bytes_ = 0;    // committed file length
+  uint64_t synced_bytes_ = 0;  // file length at last fsync
+  uint64_t next_lsn_ = 1;
+  uint64_t chain_checksum_ = kWalSalt;    // durable chain state
+  uint64_t pending_checksum_ = kWalSalt;  // chain incl. buffered frames
+  uint64_t pending_lsn_ = 1;
+};
+
+}  // namespace bp::wal

@@ -341,6 +341,75 @@ TEST_P(ProvTest, RejectsNonNavigationEdgeKindForVisit) {
                std::logic_error);
 }
 
+TEST_P(ProvTest, BatchedWalIngestMatchesUnbatchedAndSurvivesCrash) {
+  // Batched ingest over a WAL-mode database: the production capture
+  // configuration. Contents must match the per-event path, invariants
+  // must hold, and a crash (snapshot) after the batch commit must
+  // recover every record from the log alone.
+  MemEnv wal_env;
+  DbOptions opts;
+  opts.env = &wal_env;
+  opts.durability = storage::DurabilityMode::kWal;
+  opts.wal_group_commit = 1;
+  std::map<std::string, std::string> crashed;
+  {
+    auto db = storage::Db::Open("prov.db", opts);
+    ASSERT_TRUE(db.ok());
+    ProvOptions popts;
+    popts.policy = GetParam();
+    auto store = ProvStore::Open(**db, popts);
+    ASSERT_TRUE(store.ok());
+
+    ProvStore::IngestBatch batch(**store);
+    NodeId prev = 0;
+    for (int i = 0; i < 20; ++i) {
+      auto visit = (*store)->RecordVisit(
+          "http://site/" + std::to_string(i % 5), "t", EdgeKind::kLink,
+          prev, 1000 + i * 100, 1);
+      ASSERT_TRUE(visit.ok());
+      prev = *visit;
+    }
+    ASSERT_TRUE(batch.Commit().ok());
+    crashed = wal_env.SnapshotAll();  // power loss before clean close
+  }
+  ASSERT_TRUE(crashed.count("prov.db.wal") > 0);
+
+  wal_env.RestoreAll(crashed);
+  auto db = storage::Db::Open("prov.db", opts);
+  ASSERT_TRUE(db.ok());
+  ProvOptions popts;
+  popts.policy = GetParam();
+  auto store = ProvStore::Open(**db, popts);
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(
+        (*store)->PageForUrl("http://site/" + std::to_string(i)).ok());
+  }
+  auto invariants = (*store)->CheckInvariants();
+  ASSERT_TRUE(invariants.ok());
+  EXPECT_TRUE(*invariants);
+  // 5 pages; node policy adds 20 visit instances.
+  auto nodes = (*store)->NodeCount();
+  ASSERT_TRUE(nodes.ok());
+  EXPECT_EQ(*nodes, NodePolicy() ? 25u : 5u);
+}
+
+TEST_P(ProvTest, AbandonedIngestBatchRollsBackAtomically) {
+  auto before = store_->NodeCount();
+  ASSERT_TRUE(before.ok());
+  {
+    ProvStore::IngestBatch batch(*store_);
+    auto visit = store_->RecordVisit("http://doomed", "D", EdgeKind::kLink,
+                                     0, 1000, 1);
+    ASSERT_TRUE(visit.ok());
+    // No Commit: destructor rolls the whole batch back.
+  }
+  auto after = store_->NodeCount();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, *before);
+  EXPECT_TRUE(store_->PageForUrl("http://doomed").status().IsNotFound());
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Policies, ProvTest,
     ::testing::Values(VersionPolicy::kVersionNodes,

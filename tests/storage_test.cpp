@@ -72,6 +72,100 @@ TEST(MemEnvTest, RemoveAndExists) {
   EXPECT_FALSE(env.Exists("f"));
 }
 
+TEST(MemEnvTest, SnapshotMidWriteRestoresExactPreWriteBytes) {
+  // The WAL crash-injection property test depends on snapshots being
+  // byte-exact: a snapshot taken between two writes of one logical
+  // operation must restore to exactly the bytes the first write left.
+  MemEnv env;
+  auto file = env.Open("f");
+  ASSERT_TRUE((*file)->Write(0, "aaaaaaaaaa").ok());
+  ASSERT_TRUE((*file)->Write(4, "BB").ok());  // mid-file overwrite
+  auto snap = env.SnapshotAll();
+
+  // Whatever happens afterwards — more overwrites, truncation, removal
+  // — restore must return the exact mid-write state.
+  ASSERT_TRUE((*file)->Write(2, "zzzzzzzzzzzzzz").ok());
+  ASSERT_TRUE((*file)->Truncate(3).ok());
+  ASSERT_TRUE(env.Remove("f").ok());
+  env.RestoreAll(snap);
+
+  auto reopened = env.Open("f");
+  auto size = (*reopened)->Size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 10u);
+  std::string out;
+  ASSERT_TRUE((*reopened)->Read(0, 10, &out).ok());
+  EXPECT_EQ(out, "aaaaBBaaaa");
+}
+
+TEST(MemEnvTest, ShortReadMidFileIsIoErrorNotOutOfRange) {
+  // File::Read contract (env.hpp): at-or-past EOF -> OutOfRange; a read
+  // that STARTS in range but cannot be satisfied in full -> IoError.
+  // WAL tail scanning relies on the distinction to classify torn frames.
+  MemEnv env;
+  auto file = env.Open("f");
+  ASSERT_TRUE((*file)->Write(0, "0123456789").ok());
+  std::string out;
+  // Starts mid-file, runs past EOF: short read.
+  EXPECT_EQ((*file)->Read(5, 10, &out).code(), util::StatusCode::kIoError);
+  // Starts exactly at EOF: out of range.
+  EXPECT_EQ((*file)->Read(10, 1, &out).code(),
+            util::StatusCode::kOutOfRange);
+  // Starts past EOF: out of range.
+  EXPECT_EQ((*file)->Read(12, 1, &out).code(),
+            util::StatusCode::kOutOfRange);
+  // Exactly-at-boundary read succeeds.
+  ASSERT_TRUE((*file)->Read(5, 5, &out).ok());
+  EXPECT_EQ(out, "56789");
+}
+
+TEST(MemEnvTest, OpLogRecordsAndReplaysWriteSequence) {
+  MemEnv env;
+  auto file = env.Open("f");
+  ASSERT_TRUE((*file)->Write(0, "base").ok());
+  auto base = env.SnapshotAll();
+
+  env.StartOpLog();
+  ASSERT_TRUE((*file)->Write(4, "-one").ok());
+  ASSERT_TRUE((*file)->Write(8, "-two").ok());
+  ASSERT_TRUE((*file)->Truncate(10).ok());
+  auto ops = env.StopOpLog();
+  ASSERT_EQ(ops.size(), 3u);
+
+  // Replaying a prefix reproduces the intermediate state...
+  env.RestoreAll(base);
+  ASSERT_TRUE(env.ApplyOps(ops, 1).ok());
+  std::string out;
+  auto f = env.Open("f");
+  ASSERT_TRUE((*f)->Read(0, 8, &out).ok());
+  EXPECT_EQ(out, "base-one");
+
+  // ...and a torn final write applies only its leading bytes.
+  env.RestoreAll(base);
+  ASSERT_TRUE(env.ApplyOps(ops, 1, /*partial_bytes_of_last=*/2).ok());
+  f = env.Open("f");
+  ASSERT_TRUE((*f)->Read(0, 10, &out).ok());
+  EXPECT_EQ(out, "base-one-t");
+}
+
+TEST(PosixEnvTest, ShortReadMidFileIsIoErrorNotOutOfRange) {
+  // Same contract as MemEnv, against the real filesystem (a scratch
+  // file in the test binary's working directory).
+  Env* env = Env::Posix();
+  const std::string path = "posix_env_short_read.tmp";
+  auto file = env->Open(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Truncate(0).ok());
+  ASSERT_TRUE((*file)->Write(0, "0123456789").ok());
+  std::string out;
+  EXPECT_EQ((*file)->Read(5, 10, &out).code(), util::StatusCode::kIoError);
+  EXPECT_EQ((*file)->Read(10, 1, &out).code(),
+            util::StatusCode::kOutOfRange);
+  ASSERT_TRUE((*file)->Read(5, 5, &out).ok());
+  EXPECT_EQ(out, "56789");
+  ASSERT_TRUE(env->Remove(path).ok());
+}
+
 // --------------------------------------------------------------- pager
 
 class PagerTest : public ::testing::Test {
