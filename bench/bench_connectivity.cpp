@@ -24,9 +24,10 @@ struct SchemaStats {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bp;
   using namespace bp::bench;
+  Init(argc, argv, "bench_connectivity");
 
   Header("E10", "second-class relationships: orphaned visits and lineage "
                 "success",
@@ -83,27 +84,28 @@ int main() {
                }),
            "places lineage");
 
-    // --- Provenance ---
+    // --- Provenance --- (cursor read path; attrs never decoded)
     SchemaStats prov_stats;
-    MustOk(fx->prov->graph().ForEachNode([&](const graph::Node& node) {
-      if (node.kind != static_cast<uint32_t>(prov::NodeKind::kVisit)) {
-        return true;
+    graph::NodeCursor nodes = fx->prov->graph().Nodes();
+    for (; nodes.Valid(); nodes.Next()) {
+      if (nodes.node().kind() !=
+          static_cast<uint32_t>(prov::NodeKind::kVisit)) {
+        continue;
       }
       ++prov_stats.visits;
       uint64_t in_actions = 0;
-      auto st = fx->prov->graph().ForEachEdge(
-          node.id, graph::Direction::kIn, [&](const graph::Edge& edge) {
-            if (edge.kind !=
-                static_cast<uint32_t>(prov::EdgeKind::kInstanceOf)) {
-              ++in_actions;
-            }
-            return true;
-          });
-      if (!st.ok()) return false;
+      graph::EdgeCursor edges =
+          fx->prov->graph().Edges(nodes.node().id(), graph::Direction::kIn);
+      for (; edges.Valid(); edges.Next()) {
+        if (edges.edge().kind() !=
+            static_cast<uint32_t>(prov::EdgeKind::kInstanceOf)) {
+          ++in_actions;
+        }
+      }
+      MustOk(edges.status(), "prov scan");
       if (in_actions == 0) ++prov_stats.orphans;
-      return true;
-    }),
-           "prov scan");
+    }
+    MustOk(nodes.status(), "prov scan");
     for (const auto& episode : fx->out.downloads) {
       if (prov_stats.lineage_attempts >= 40) break;
       auto it =
@@ -124,10 +126,16 @@ int main() {
         100.0 * static_cast<double>(prov_stats.orphans) /
             static_cast<double>(prov_stats.visits),
         prov_stats.lineage_success, prov_stats.lineage_attempts);
+    Metric(std::string(user_label) + "_places_orphan_pct",
+           100.0 * static_cast<double>(places.orphans) /
+               static_cast<double>(places.visits));
+    Metric(std::string(user_label) + "_prov_orphan_pct",
+           100.0 * static_cast<double>(prov_stats.orphans) /
+               static_cast<double>(prov_stats.visits));
   }
   Blank();
   Row("(expected shape: Places orphan rate grows sharply for the power");
   Row(" user and its lineage walks dead-end; provenance orphan rate stays");
   Row(" low — only true session starts — and lineage keeps working)");
-  return 0;
+  return Finish();
 }

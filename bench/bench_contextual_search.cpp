@@ -11,9 +11,10 @@
 #include "bench/common.hpp"
 #include "sim/scenario.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bp;
   using namespace bp::bench;
+  Init(argc, argv, "bench_contextual_search");
 
   Header("E4", "contextual history search: textual vs provenance rerank",
          "provenance search returns the descendant page (Citizen Kane) "
@@ -88,7 +89,10 @@ int main() {
       100.0 * text_hits / n);
   Row("%-24s %10.3f %11.1f%%", "provenance rerank", prov_mrr,
       100.0 * prov_hits / n);
+  Metric("textual_mrr", text_mrr);
+  Metric("provenance_mrr", prov_mrr);
+  Metric("provenance_recall_at_10", 100.0 * prov_hits / n);
   Blank();
   Row("(provenance rerank should dominate or match on both metrics)");
-  return 0;
+  return Finish();
 }

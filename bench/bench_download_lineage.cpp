@@ -14,9 +14,10 @@
 #include "search/lineage.hpp"
 #include "sim/scenario.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bp;
   using namespace bp::bench;
+  Init(argc, argv, "bench_download_lineage");
 
   Header("E7", "download lineage: recognizable ancestor + descendant downloads",
          "path query returns the first ancestor the user is likely to "
@@ -55,8 +56,8 @@ int main() {
     auto descendants = MustOk(
         search::DescendantDownloads(*store, scenario.untrusted_url), "desc");
     Row("  downloads descending from %s: %zu (expected 2)",
-        scenario.untrusted_url.c_str(), descendants.size());
-    for (const auto& d : descendants) {
+        scenario.untrusted_url.c_str(), descendants.downloads.size());
+    for (const auto& d : descendants.downloads) {
       Row("    -> %s (depth %u)", d.target_path.c_str(), d.depth);
     }
   }
@@ -87,6 +88,9 @@ int main() {
     if (familiar.found_recognizable) ++recognizable_found;
   }
   Percentiles p = ComputePercentiles(latencies);
+  Metric("trace_p50_ms", p.p50);
+  Metric("downloads_traced", checked);
+  Metric("nearest_match", nearest_match);
   Blank();
   Row("79-day fixture: %d downloads traced", checked);
   Row("  nearest ancestor equals ground-truth trigger page: %d/%d",
@@ -130,5 +134,5 @@ int main() {
   Blank();
   Row("(latency grows linearly with chain length and stays well under");
   Row(" the 200ms envelope at realistic depths)");
-  return 0;
+  return Finish();
 }

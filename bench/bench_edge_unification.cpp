@@ -10,9 +10,10 @@
 // simulator's clicked pages), expansion size, and latency.
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bp;
   using namespace bp::bench;
+  Init(argc, argv, "bench_edge_unification");
 
   Header("E9", "edge unification: ignoring redirect/embed edges in "
                "personalization",
@@ -54,9 +55,11 @@ int main() {
     Row("%-26s %8.3f %9.1f%% %10.2f %12.1f",
         unify ? "unified (skip auto edges)" : "raw (follow all edges)",
         mrr / n, 100.0 * hits / n, total_ms / n, total_results / n);
+    Metric(unify ? "unified_mrr" : "raw_mrr", mrr / n);
+    Metric(unify ? "unified_avg_ms" : "raw_avg_ms", total_ms / n);
   }
   Blank();
   Row("(unified expansion should match or beat raw quality while doing");
   Row(" less work — redirects and embeds add nodes, not user context)");
-  return 0;
+  return Finish();
 }

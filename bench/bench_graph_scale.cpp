@@ -5,19 +5,27 @@
 //
 // Sweeps simulated days and reports provenance node/edge counts, store
 // bytes, and ingest throughput. At 79 days the node count should land in
-// the paper's >25k regime.
+// the paper's >25k regime. A second section microbenchmarks
+// GraphStore::Degree, which counts adjacency cells per leaf
+// (BTree::CountRange) instead of decoding every adjacency row.
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bp;
   using namespace bp::bench;
+  Init(argc, argv, "bench_graph_scale");
 
   Header("E2", "history graph scale vs days of browsing",
          "> 25,000 nodes accumulated in 79 days");
 
+  std::unique_ptr<HistoryFixture> largest;
   Row("%6s %10s %10s %10s %12s %12s", "days", "visits", "nodes", "edges",
       "prov bytes", "events/sec");
-  for (uint32_t days : {10u, 20u, 40u, 79u, 158u}) {
+  // Under --smoke every sweep point would build the same capped fixture;
+  // one point carries all the signal CI needs.
+  std::vector<uint32_t> day_sweep{10u, 20u, 40u, 79u, 158u};
+  if (State().smoke) day_sweep = {79u};
+  for (uint32_t days : day_sweep) {
     FixtureOptions options;
     options.days = days;
     auto fx = HistoryFixture::Build(options);
@@ -32,8 +40,60 @@ int main() {
         (unsigned long long)*fx->prov->EdgeCount(),
         util::HumanBytes(space.BytesForPrefix("prov.")).c_str(),
         events_per_sec);
+    if (days == 79u) {  // in smoke runs the fixture is days-capped
+      Metric("nodes_day79", static_cast<double>(*fx->prov->NodeCount()));
+      Metric("edges_day79", static_cast<double>(*fx->prov->EdgeCount()));
+      Metric("ingest_events_per_sec", events_per_sec);
+    }
+    largest = std::move(fx);
   }
   Blank();
   Row("(the 79-day row reproduces the paper's >25k-node scale)");
-  return 0;
+
+  // ---- Degree microbench: cursor counting vs row decode.
+  //
+  // Degree answers "how connected is this node" on hot paths (expansion
+  // ordering, hub detection). CountRange counts whole leaves by their
+  // cell headers and binary-searches only the boundary leaves; the
+  // decode path walks an EdgeCursor and materializes nothing. Both
+  // numbers below answer every node of the largest fixture.
+  {
+    graph::GraphStore& graph = largest->prov->graph();
+    const uint64_t node_count = *largest->prov->NodeCount();
+
+    uint64_t total_degree_fast = 0;
+    util::Stopwatch fast_watch;
+    for (graph::NodeId node = 1; node <= node_count; ++node) {
+      total_degree_fast +=
+          MustOk(graph.Degree(node, graph::Direction::kOut), "degree");
+      total_degree_fast +=
+          MustOk(graph.Degree(node, graph::Direction::kIn), "degree");
+    }
+    const double fast_ms = fast_watch.ElapsedMs();
+
+    uint64_t total_degree_scan = 0;
+    util::Stopwatch scan_watch;
+    for (graph::NodeId node = 1; node <= node_count; ++node) {
+      for (auto dir : {graph::Direction::kOut, graph::Direction::kIn}) {
+        graph::EdgeCursor cur = graph.Edges(node, dir);
+        for (; cur.Valid(); cur.Next()) ++total_degree_scan;
+        MustOk(cur.status(), "degree scan");
+      }
+    }
+    const double scan_ms = scan_watch.ElapsedMs();
+    BP_CHECK(total_degree_fast == total_degree_scan,
+             "Degree disagrees with adjacency scan");
+
+    Blank();
+    Row("Degree for all %llu nodes, both directions (%llu adjacency rows):",
+        (unsigned long long)node_count,
+        (unsigned long long)total_degree_fast);
+    Row("  CountRange (leaf cell counting):  %8.1f ms", fast_ms);
+    Row("  EdgeCursor (decode every row):    %8.1f ms", scan_ms);
+    Row("  speedup: %.1fx", fast_ms > 0 ? scan_ms / fast_ms : 0.0);
+    Metric("degree_countrange_ms", fast_ms);
+    Metric("degree_scan_ms", scan_ms);
+    Metric("degree_speedup", fast_ms > 0 ? scan_ms / fast_ms : 0.0);
+  }
+  return Finish();
 }

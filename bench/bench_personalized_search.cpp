@@ -15,9 +15,10 @@
 #include "search/personalize.hpp"
 #include "text/tokenizer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bp;
   using namespace bp::bench;
+  Init(argc, argv, "bench_personalized_search");
 
   Header("E5", "personalized web search via provenance query augmentation",
          "engine sees only e.g. \"rosebud flower\"; results match the "
@@ -82,9 +83,11 @@ int main() {
         plain_sum / n, aug_sum / n);
     Row("top-1 rate: plain %d/%d -> augmented %d/%d", plain_top1, n,
         aug_top1, n);
+    Metric("plain_mean_rank", plain_sum / n);
+    Metric("augmented_mean_rank", aug_sum / n);
   }
   Blank();
   Row("privacy audit: information sent to the engine = the augmented query");
   Row("string only; history rows disclosed: 0 (all mining ran locally)");
-  return 0;
+  return Finish();
 }

@@ -11,9 +11,10 @@
 // infrastructure, not part of the provenance schema the paper measures.
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bp;
   using namespace bp::bench;
+  Init(argc, argv, "bench_storage_overhead");
 
   Header("E1", "storage overhead: provenance schema vs Places baseline",
          "39.5% overhead over Places; < 5 MB on a real 79-day history");
@@ -57,6 +58,9 @@ int main() {
   Row("side-by-side ratio prov/places: %.1f%%", side_by_side);
   Row("absolute provenance footprint:  %s   (paper: < 5 MB)",
       util::HumanBytes(prov_bytes).c_str());
+  Metric("replace_overhead_pct", replace_overhead);
+  Metric("prov_bytes", static_cast<double>(prov_bytes));
+  Metric("places_bytes", static_cast<double>(places_bytes));
   Blank();
 
   // Per-tree breakdown for the curious.
@@ -66,5 +70,5 @@ int main() {
         (unsigned long long)entry.stats.TotalPages(),
         (unsigned long long)entry.stats.cells, entry.stats.depth);
   }
-  return 0;
+  return Finish();
 }

@@ -24,9 +24,10 @@ struct Condition {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bp;
   using namespace bp::bench;
+  Init(argc, argv, "bench_time_contextual");
 
   Header("E6", "time-contextual search: \"wine associated with plane tickets\"",
          "the co-open page ranks first; without close timestamps the "
@@ -84,11 +85,16 @@ int main() {
       }
       Row("%7d %-22s %12d %14d %12d", decoys, cond.name, text_rank,
           time_rank, co_open);
+      Metric(util::StrFormat("%s_decoys%d_time_rank",
+                             cond.record_closes ? "with_closes"
+                                                : "no_closes",
+                             decoys),
+             time_rank);
     }
   }
   Blank();
   Row("(with closes: time-ctx rank should be 1 and exactly one page");
   Row(" co-open; without closes the co-open set balloons and the rank");
   Row(" reverts toward the text baseline — section 3.2's point)");
-  return 0;
+  return Finish();
 }

@@ -101,7 +101,8 @@ double RunProvIngest(storage::DurabilityMode mode, uint32_t group_commit,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Init(argc, argv, "bench_wal_commit");
   Header("W1", "commit durability: rollback journal vs WAL group commit",
          "WAL group commit (window >= 8) >= 3x journal commits/sec");
 
@@ -116,6 +117,7 @@ int main() {
   Row("%-26s %12.0f %12.2f %14.2f %9.2fx", "journal",
       journal.commits_per_sec, journal.fsyncs_per_txn,
       journal.synced_kb_per_txn, 1.0);
+  Metric("journal_commits_per_sec", journal.commits_per_sec);
 
   bool pass = false;
   for (uint32_t window : {1u, 8u, 64u}) {
@@ -126,6 +128,8 @@ int main() {
         util::StrFormat("wal (group window %u)", window).c_str(),
         wal.commits_per_sec, wal.fsyncs_per_txn, wal.synced_kb_per_txn,
         speedup);
+    Metric(util::StrFormat("wal_group%u_commits_per_sec", window),
+           wal.commits_per_sec);
   }
   Blank();
   Row("acceptance (wal window >= 8 at >= 3x journal): %s",
@@ -144,5 +148,6 @@ int main() {
         util::StrFormat("wal+group8, batch %zu", batch).c_str(), wal_rate,
         wal_rate / journal_rate);
   }
-  return pass ? 0 : 1;
+  int json_status = Finish();
+  return pass ? json_status : 1;
 }

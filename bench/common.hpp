@@ -28,6 +28,92 @@
 
 namespace bp::bench {
 
+// --------------------------------------------------- CLI / JSON output
+//
+// Every table-style bench accepts:
+//   --json    after the human-readable tables, write BENCH_<name>.json
+//   --smoke   cap fixture scale (days <= 3) so CI can cheaply execute
+//             every bench end-to-end
+//
+// The JSON schema is flat and append-only so perf-trajectory tooling can
+// diff runs:
+//   { "bench": "<name>", "smoke": <bool>,
+//     "metrics": { "<key>": <number>, ... } }
+//
+// Usage in a bench:
+//   int main(int argc, char** argv) {
+//     Init(argc, argv, "bench_foo");
+//     ...
+//     Metric("p50_ms", p.p50);
+//     return Finish();
+//   }
+struct BenchState {
+  std::string name;
+  bool json = false;
+  bool smoke = false;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+inline BenchState& State() {
+  static BenchState state;
+  return state;
+}
+
+inline void Init(int argc, char** argv, const char* name) {
+  State().name = name;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      State().json = true;
+    } else if (arg == "--smoke") {
+      State().smoke = true;
+    } else {
+      std::fprintf(stderr, "%s: unknown flag %s (known: --json --smoke)\n",
+                   name, arg.c_str());
+    }
+  }
+}
+
+// Records a headline number for the JSON report (ignored without --json).
+inline void Metric(const std::string& key, double value) {
+  State().metrics.emplace_back(key, value);
+}
+
+// Writes BENCH_<name>.json when --json was passed. Return this from main.
+inline int Finish() {
+  const BenchState& state = State();
+  if (!state.json) return 0;
+  const std::string path = "BENCH_" + state.name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  // Keys are expected to be snake_case slugs, but escape the JSON
+  // string specials anyway so a stray label can never break the file.
+  auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  };
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"smoke\": %s,\n  \"metrics\": {",
+               state.name.c_str(), state.smoke ? "true" : "false");
+  for (size_t i = 0; i < state.metrics.size(); ++i) {
+    std::fprintf(f, "%s\n    \"%s\": %.17g", i == 0 ? "" : ",",
+                 escape(state.metrics[i].first).c_str(),
+                 state.metrics[i].second);
+  }
+  std::fprintf(f, "\n  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu metrics)\n", path.c_str(),
+              state.metrics.size());
+  return 0;
+}
+
 // Aborts with a message on error — benches have no one to return Status
 // to.
 template <typename T>
@@ -79,6 +165,11 @@ struct HistoryFixture {
 
   static std::unique_ptr<HistoryFixture> Build(FixtureOptions options) {
     auto fx = std::make_unique<HistoryFixture>();
+    if (State().smoke) {
+      // CI smoke mode: every bench must run end to end in seconds, not
+      // reproduce the paper's scale.
+      options.days = std::min(options.days, 3u);
+    }
     util::Rng rng(options.seed);
     fx->vocab = sim::Vocabulary::Create(rng, {});
     sim::WebConfig web_config;

@@ -4,36 +4,33 @@
 // Build & run:   ./build/examples/download_forensics
 #include <cstdio>
 
-#include "capture/bus.hpp"
-#include "capture/recorders.hpp"
-#include "search/lineage.hpp"
+#include "prov/provenance_db.hpp"
 #include "sim/scenario.hpp"
-#include "storage/db.hpp"
 
 using namespace bp;
 
 int main() {
   storage::MemEnv env;
-  storage::DbOptions db_options;
-  db_options.env = &env;
-  auto db = storage::Db::Open("forensics.db", db_options);
-  auto store = prov::ProvStore::Open(**db, {});
-  capture::ProvenanceRecorder recorder(**store);
-  capture::EventBus bus;
-  bus.Subscribe(&recorder);
+  prov::ProvenanceDb::Options options;
+  options.db.env = &env;
+  auto db = prov::ProvenanceDb::Open("forensics.db", options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "open: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
 
   // Eight days of visiting a news portal, then one bad click: portal ->
   // URL shortener -> "free codecs" site -> installer download. Two days
   // later a second download from the same site.
   sim::MalwareScenario scenario = sim::MakeMalwareScenario();
-  if (!bus.PublishAll(scenario.events).ok()) return 1;
+  if (!(*db)->IngestAll(scenario.events).ok()) return 1;
 
   std::printf("the user finds %s is malware.\n\n",
               scenario.download_target.c_str());
 
   // Question 1: how did I get it? -> first recognizable ancestor.
-  auto report = search::TraceDownload(
-      **store, recorder.download_map().at(scenario.download_id), {});
+  auto report = (*db)->TraceDownload(
+      (*db)->recorder().download_map().at(scenario.download_id));
   std::printf("Q1: \"How did I get to this download?\"\n");
   if (report->found_recognizable) {
     std::printf("    first page you'd recognize: %s\n",
@@ -43,17 +40,18 @@ int main() {
       std::printf("      -> %s\n", step.label.c_str());
     }
   }
+  std::printf("    (%s)\n", report->stats.ToString().c_str());
 
   // Question 2: the codec site is clearly untrusted — what else came
   // from it? -> descendant downloads.
   std::printf("\nQ2: \"Find all downloads descending from %s\"\n",
               scenario.untrusted_url.c_str());
-  auto downloads =
-      search::DescendantDownloads(**store, scenario.untrusted_url);
-  for (const auto& d : *downloads) {
+  auto downloads = (*db)->DescendantDownloads(scenario.untrusted_url);
+  for (const auto& d : downloads->downloads) {
     std::printf("      %s  (from %s, %u hops)\n", d.target_path.c_str(),
                 d.source_url.c_str(), d.depth);
   }
+  std::printf("    (%s)\n", downloads->stats.ToString().c_str());
   std::printf("\nboth files can now be checked for infection.\n");
   return 0;
 }

@@ -2,37 +2,31 @@
 // and ask it the paper's motivating question — "where did this come
 // from?" — plus a contextual history search the textual baseline fails.
 //
+// ProvenanceDb is the one supported way to stand the system up: it owns
+// the storage engine, the provenance store, the event bus + recorder,
+// and the history searcher behind a single Open().
+//
 // Build & run:   ./build/examples/quickstart
 #include <cstdio>
 
-#include "capture/bus.hpp"
-#include "capture/recorders.hpp"
-#include "search/history_search.hpp"
-#include "search/lineage.hpp"
+#include "prov/provenance_db.hpp"
 #include "sim/scenario.hpp"
-#include "storage/db.hpp"
 
 using namespace bp;
 
 int main() {
-  // 1. An embedded database in memory (pass Env::Posix() + a path for a
-  //    real file).
+  // 1. The whole stack in one Open. MemEnv keeps this demo in memory;
+  //    drop the env override to put a real file at the path.
   storage::MemEnv env;
-  storage::DbOptions db_options;
-  db_options.env = &env;
-  auto db = storage::Db::Open("quickstart.db", db_options);
+  prov::ProvenanceDb::Options options;
+  options.db.env = &env;
+  auto db = prov::ProvenanceDb::Open("quickstart.db", options);
   if (!db.ok()) {
     std::fprintf(stderr, "open: %s\n", db.status().ToString().c_str());
     return 1;
   }
 
-  // 2. A provenance store and its event recorder.
-  auto store = prov::ProvStore::Open(**db, {});
-  capture::ProvenanceRecorder recorder(**store);
-  capture::EventBus bus;
-  bus.Subscribe(&recorder);
-
-  // 3. Script a session: search "rosebud", click through to Citizen
+  // 2. Script a session: search "rosebud", click through to Citizen
   //    Kane, then download the script PDF from a film archive.
   sim::ScenarioBuilder s;
   uint64_t search = s.Search(/*tab=*/1, "rosebud");
@@ -52,21 +46,21 @@ int main() {
   s.Wait(util::Seconds(5));
   uint64_t dl = s.Download("http://archive.example/kane-script.pdf",
                            "/home/user/Downloads/kane-script.pdf", archive);
-  if (!bus.PublishAll(s.events()).ok()) return 1;
+  if (!(*db)->IngestAll(s.events()).ok()) return 1;
 
-  // 4. Contextual history search: "rosebud" finds Citizen Kane even
+  // 3. Contextual history search: "rosebud" finds Citizen Kane even
   //    though the page text never contains the word.
-  auto searcher = search::HistorySearcher::Open(**db, **store);
-  auto hits = (*searcher)->ContextualSearch("rosebud", {});
+  auto hits = (*db)->Search("rosebud");
   std::printf("history search for \"rosebud\":\n");
   for (const auto& page : hits->pages) {
     std::printf("  %.3f  %-42s %s\n", page.total, page.url.c_str(),
                 page.title.c_str());
   }
+  std::printf("  (%s)\n", hits->stats.ToString().c_str());
 
-  // 5. Download lineage: how did kane-script.pdf get here?
-  auto report = search::TraceDownload(
-      **store, recorder.download_map().at(dl),
+  // 4. Download lineage: how did kane-script.pdf get here?
+  auto report = (*db)->TraceDownload(
+      (*db)->recorder().download_map().at(dl),
       [] {
         search::LineageOptions o;
         o.min_visit_count = 1;
@@ -76,5 +70,6 @@ int main() {
   for (const auto& step : report->path) {
     std::printf("  -> %s\n", step.label.c_str());
   }
+  std::printf("  (%s)\n", report->stats.ToString().c_str());
   return 0;
 }

@@ -4,6 +4,7 @@
 // SAME stream; the bus is the single point of delivery.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "capture/events.hpp"
@@ -23,14 +24,25 @@ class EventBus {
   // Sinks are not owned; they must outlive the bus.
   void Subscribe(EventSink* sink) { sinks_.push_back(sink); }
 
-  // Delivers to every sink; stops and reports the first failure.
+  // Delivers `event` to EVERY sink — a failing sink does not starve the
+  // ones after it — then returns the first error. Stopping mid-fan-out
+  // would silently diverge the recorders' streams: the sinks before the
+  // failure would have seen one more event than the sinks after it,
+  // breaking the "same stream" invariant the storage-overhead comparison
+  // rests on. A sink that errors therefore misses nothing relative to
+  // its peers for THIS event; the caller decides (via the returned
+  // status) whether the stream as a whole continues.
   util::Status Publish(const BrowserEvent& event) {
+    util::Status first;
     for (EventSink* sink : sinks_) {
-      BP_RETURN_IF_ERROR(sink->OnEvent(event));
+      util::Status status = sink->OnEvent(event);
+      if (first.ok() && !status.ok()) first = std::move(status);
     }
-    return util::Status::Ok();
+    return first;
   }
 
+  // Publishes in order; stops after (fully fanning out) the first event
+  // on which any sink failed, and returns that error.
   util::Status PublishAll(const std::vector<BrowserEvent>& events) {
     for (const BrowserEvent& event : events) {
       BP_RETURN_IF_ERROR(Publish(event));

@@ -37,7 +37,7 @@ std::vector<NodeId> TraversalResult::PathTo(NodeId node) const {
 
 namespace {
 
-bool PassesFilter(const EdgeFilter& filter, const Edge& edge) {
+bool PassesFilter(const EdgeFilter& filter, const EdgeRef& edge) {
   return !filter || filter(edge);
 }
 
@@ -46,11 +46,12 @@ bool PassesFilter(const EdgeFilter& filter, const Edge& edge) {
 // on_visit returns false to stop the whole traversal.
 Status BfsCore(const GraphStore& store, NodeId start,
                const TraversalOptions& options, bool expand_both,
-               bool* truncated,
+               bool* truncated, QueryStats* stats,
                const std::function<bool(const VisitRecord&)>& on_visit) {
   BP_ASSIGN_OR_RETURN(bool exists, store.HasNode(start));
   if (!exists) return Status::NotFound("Bfs: start node does not exist");
 
+  BudgetScope budget_scope(options.budget, stats);
   std::unordered_set<NodeId> seen{start};
   std::deque<VisitRecord> queue{VisitRecord{start, 0, 0, start}};
   uint64_t visited = 0;
@@ -69,22 +70,23 @@ Status BfsCore(const GraphStore& store, NodeId start,
       break;
     }
     ++visited;
+    ++stats->nodes_visited;
     if (!on_visit(rec)) return Status::Ok();
     if (rec.depth >= options.max_depth) continue;
 
-    auto enqueue = [&](Direction dir) {
-      Status inner;
-      Status scan = store.ForEachEdge(
-          rec.node, dir, [&](const Edge& edge) {
-            if (!PassesFilter(options.edge_filter, edge)) return true;
-            NodeId next = dir == Direction::kOut ? edge.dst : edge.src;
-            if (seen.insert(next).second) {
-              queue.push_back(
-                  VisitRecord{next, rec.depth + 1, edge.id, rec.node});
-            }
-            return true;
-          });
-      return scan.ok() ? inner : scan;
+    auto enqueue = [&](Direction dir) -> Status {
+      EdgeCursor cur = store.Edges(rec.node, dir, stats);
+      for (; cur.Valid(); cur.Next()) {
+        const EdgeRef& edge = cur.edge();
+        ++stats->edges_expanded;
+        if (!PassesFilter(options.edge_filter, edge)) continue;
+        NodeId next = edge.neighbor(dir);
+        if (seen.insert(next).second) {
+          queue.push_back(
+              VisitRecord{next, rec.depth + 1, edge.id(), rec.node});
+        }
+      }
+      return cur.status();
     };
 
     if (expand_both) {
@@ -104,7 +106,7 @@ Result<TraversalResult> Bfs(const GraphStore& store, NodeId start,
                             const TraversalOptions& options) {
   TraversalResult result;
   BP_RETURN_IF_ERROR(BfsCore(store, start, options, /*expand_both=*/false,
-                             &result.truncated,
+                             &result.truncated, &result.stats,
                              [&](const VisitRecord& rec) {
                                result.visits.push_back(rec);
                                return true;
@@ -118,8 +120,9 @@ Result<std::optional<VisitRecord>> FindFirst(
   std::optional<VisitRecord> found;
   Status inner;
   bool truncated = false;
+  QueryStats stats;
   BP_RETURN_IF_ERROR(BfsCore(
-      store, start, options, /*expand_both=*/false, &truncated,
+      store, start, options, /*expand_both=*/false, &truncated, &stats,
       [&](const VisitRecord& rec) {
         if (rec.node == start) return true;  // exclude the start itself
         auto node = store.GetNode(rec.node);
@@ -143,7 +146,7 @@ Result<std::vector<NodeId>> ShortestPath(const GraphStore& store,
   TraversalResult result;
   bool reached = false;
   BP_RETURN_IF_ERROR(BfsCore(store, start, options, /*expand_both=*/false,
-                             &result.truncated,
+                             &result.truncated, &result.stats,
                              [&](const VisitRecord& rec) {
                                result.visits.push_back(rec);
                                if (rec.node == goal) {
@@ -185,6 +188,7 @@ Result<Subgraph> BuildNeighborhood(const GraphStore& store,
     }
   }
 
+  BudgetScope budget_scope(budget, &graph.stats);
   while (!queue.empty()) {
     auto [node, depth] = queue.front();
     queue.pop_front();
@@ -192,41 +196,46 @@ Result<Subgraph> BuildNeighborhood(const GraphStore& store,
       graph.truncated = true;
       break;
     }
+    ++graph.stats.nodes_visited;
     if (depth >= max_depth) continue;
 
     for (Direction dir : {Direction::kOut, Direction::kIn}) {
-      Status scan = store.ForEachEdge(node, dir, [&](const Edge& edge) {
-        if (!PassesFilter(filter, edge)) return true;
-        NodeId next = dir == Direction::kOut ? edge.dst : edge.src;
+      EdgeCursor cur = store.Edges(node, dir, &graph.stats);
+      for (; cur.Valid(); cur.Next()) {
+        const EdgeRef& edge = cur.edge();
+        ++graph.stats.edges_expanded;
+        if (!PassesFilter(filter, edge)) continue;
+        NodeId next = edge.neighbor(dir);
         if (seen.count(next) == 0) {
           if (graph.nodes.size() >= max_nodes) {
             graph.truncated = true;
-            return true;  // keep scanning for edges among known nodes
+            continue;  // keep scanning for edges among known nodes
           }
           seen.insert(next);
           add_node(next);
           queue.push_back({next, depth + 1});
         }
-        return true;
-      });
-      BP_RETURN_IF_ERROR(scan);
+      }
+      BP_RETURN_IF_ERROR(cur.status());
     }
   }
 
   // Second pass: record directed adjacency among included nodes only.
   // (Done separately so edges to nodes admitted later are not missed.)
   for (uint32_t i = 0; i < graph.nodes.size(); ++i) {
-    Status scan = store.ForEachEdge(
-        graph.nodes[i], Direction::kOut, [&](const Edge& edge) {
-          if (!PassesFilter(filter, edge)) return true;
-          auto it = graph.index_of.find(edge.dst);
-          if (it == graph.index_of.end()) return true;
-          graph.out[i].push_back(it->second);
-          graph.in[it->second].push_back(i);
-          return true;
-        });
-    BP_RETURN_IF_ERROR(scan);
+    EdgeCursor cur = store.Edges(graph.nodes[i], Direction::kOut,
+                                 &graph.stats);
+    for (; cur.Valid(); cur.Next()) {
+      const EdgeRef& edge = cur.edge();
+      if (!PassesFilter(filter, edge)) continue;
+      auto it = graph.index_of.find(edge.dst());
+      if (it == graph.index_of.end()) continue;
+      graph.out[i].push_back(it->second);
+      graph.in[it->second].push_back(i);
+    }
+    BP_RETURN_IF_ERROR(cur.status());
   }
+  budget_scope.Flush();  // before `graph` moves into the Result
   return graph;
 }
 
@@ -322,14 +331,14 @@ std::vector<double> PersonalizedPageRank(const Subgraph& graph,
   return rank;
 }
 
-Result<std::unordered_map<NodeId, double>> ExpandWithDecay(
+Result<DecayExpansion> ExpandWithDecay(
     const GraphStore& store,
     const std::vector<std::pair<NodeId, double>>& weighted_seeds,
     uint32_t max_depth, double decay, const EdgeFilter& filter,
-    QueryBudget* budget, bool* truncated) {
+    QueryBudget* budget) {
   BP_REQUIRE(decay > 0.0 && decay <= 1.0, "decay must be in (0, 1]");
-  std::unordered_map<NodeId, double> weights;
-  if (truncated != nullptr) *truncated = false;
+  DecayExpansion result;
+  BudgetScope budget_scope(budget, &result.stats);
 
   // Per-seed BFS: a node's contribution from one seed uses its shortest
   // hop distance to that seed; contributions from distinct seeds add.
@@ -342,25 +351,29 @@ Result<std::unordered_map<NodeId, double>> ExpandWithDecay(
       auto [node, depth] = queue.front();
       queue.pop_front();
       if (budget != nullptr && !budget->Charge()) {
-        if (truncated != nullptr) *truncated = true;
+        result.truncated = true;
         break;
       }
-      weights[node] += seed_weight * std::pow(decay, depth);
+      ++result.stats.nodes_visited;
+      result.weights[node] += seed_weight * std::pow(decay, depth);
       if (depth >= max_depth) continue;
       for (Direction dir : {Direction::kOut, Direction::kIn}) {
-        Status scan = store.ForEachEdge(node, dir, [&](const Edge& edge) {
-          if (!PassesFilter(filter, edge)) return true;
-          NodeId next = dir == Direction::kOut ? edge.dst : edge.src;
+        EdgeCursor cur = store.Edges(node, dir, &result.stats);
+        for (; cur.Valid(); cur.Next()) {
+          const EdgeRef& edge = cur.edge();
+          ++result.stats.edges_expanded;
+          if (!PassesFilter(filter, edge)) continue;
+          NodeId next = edge.neighbor(dir);
           if (seen.insert(next).second) {
             queue.push_back({next, depth + 1});
           }
-          return true;
-        });
-        BP_RETURN_IF_ERROR(scan);
+        }
+        BP_RETURN_IF_ERROR(cur.status());
       }
     }
   }
-  return weights;
+  budget_scope.Flush();  // before `result` moves into the Result
+  return result;
 }
 
 Result<bool> WouldCreateCycle(const GraphStore& store, NodeId src,
@@ -373,8 +386,10 @@ Result<bool> WouldCreateCycle(const GraphStore& store, NodeId src,
   options.edge_filter = filter;
   bool reachable = false;
   bool truncated = false;
+  QueryStats stats;
   BP_RETURN_IF_ERROR(BfsCore(store, dst, options, /*expand_both=*/false,
-                             &truncated, [&](const VisitRecord& rec) {
+                             &truncated, &stats,
+                             [&](const VisitRecord& rec) {
                                if (rec.node == src) {
                                  reachable = true;
                                  return false;
@@ -387,17 +402,22 @@ Result<bool> WouldCreateCycle(const GraphStore& store, NodeId src,
 Result<bool> IsAcyclic(const GraphStore& store, const EdgeFilter& filter) {
   // Kahn's algorithm on the filtered edge view.
   std::unordered_map<NodeId, uint64_t> in_degree;
-  BP_RETURN_IF_ERROR(store.ForEachNode([&](const Node& node) {
-    in_degree.emplace(node.id, 0);
-    return true;
-  }));
-  uint64_t edge_count = 0;
-  BP_RETURN_IF_ERROR(store.ForEachEdge([&](const Edge& edge) {
-    if (!PassesFilter(filter, edge)) return true;
-    ++in_degree[edge.dst];
-    ++edge_count;
-    return true;
-  }));
+  {
+    NodeCursor cur = store.Nodes();
+    for (; cur.Valid(); cur.Next()) {
+      in_degree.emplace(cur.node().id(), 0);
+    }
+    BP_RETURN_IF_ERROR(cur.status());
+  }
+  {
+    EdgeCursor cur = store.Edges();
+    for (; cur.Valid(); cur.Next()) {
+      const EdgeRef& edge = cur.edge();
+      if (!PassesFilter(filter, edge)) continue;
+      ++in_degree[edge.dst()];
+    }
+    BP_RETURN_IF_ERROR(cur.status());
+  }
 
   std::deque<NodeId> ready;
   for (const auto& [node, deg] : in_degree) {
@@ -408,13 +428,13 @@ Result<bool> IsAcyclic(const GraphStore& store, const EdgeFilter& filter) {
     NodeId node = ready.front();
     ready.pop_front();
     ++removed;
-    Status scan =
-        store.ForEachEdge(node, Direction::kOut, [&](const Edge& edge) {
-          if (!PassesFilter(filter, edge)) return true;
-          if (--in_degree[edge.dst] == 0) ready.push_back(edge.dst);
-          return true;
-        });
-    BP_RETURN_IF_ERROR(scan);
+    EdgeCursor cur = store.Edges(node, Direction::kOut);
+    for (; cur.Valid(); cur.Next()) {
+      const EdgeRef& edge = cur.edge();
+      if (!PassesFilter(filter, edge)) continue;
+      if (--in_degree[edge.dst()] == 0) ready.push_back(edge.dst());
+    }
+    BP_RETURN_IF_ERROR(cur.status());
   }
   return removed == in_degree.size();
 }

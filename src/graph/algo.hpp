@@ -13,6 +13,11 @@
 // on budget exhaustion it stops expanding and reports truncated=true with
 // best-so-far results — the mechanism behind the paper's "queries ...
 // can be bound to that time" claim.
+//
+// All traversals run on the cursor read path (graph/cursor.hpp): edges
+// are pulled through EdgeCursor as lazily-decoded EdgeRefs (no AttrMap
+// materialization unless a filter asks for it), and every result carries
+// the QueryStats the traversal accumulated.
 #pragma once
 
 #include <cstdint>
@@ -21,14 +26,17 @@
 #include <unordered_map>
 #include <vector>
 
+#include "graph/cursor.hpp"
 #include "graph/store.hpp"
 #include "util/budget.hpp"
 #include "util/status.hpp"
 
 namespace bp::graph {
 
-// Filter deciding which edges a traversal may cross. Default: all.
-using EdgeFilter = std::function<bool(const Edge&)>;
+// Filter deciding which edges a traversal may cross. Default: all. The
+// argument is a lazily-decoded EdgeRef — filters on src/dst/kind are
+// free; call attrs() only when the decision genuinely needs attributes.
+using EdgeFilter = std::function<bool(const EdgeRef&)>;
 
 struct TraversalOptions {
   Direction direction = Direction::kOut;
@@ -51,6 +59,7 @@ struct VisitRecord {
 struct TraversalResult {
   std::vector<VisitRecord> visits;  // BFS order; visits[0] is the start
   bool truncated = false;           // budget/max_nodes stopped expansion
+  QueryStats stats;
 
   // Reconstructs the path start -> ... -> node (node ids), or empty when
   // `node` was not visited.
@@ -86,6 +95,7 @@ struct Subgraph {
   std::vector<std::vector<uint32_t>> out;
   std::vector<std::vector<uint32_t>> in;
   bool truncated = false;
+  QueryStats stats;
 
   size_t size() const { return nodes.size(); }
   bool Contains(NodeId id) const { return index_of.count(id) > 0; }
@@ -127,15 +137,21 @@ std::vector<double> PersonalizedPageRank(const Subgraph& graph,
 
 // ------------------------------------------------- neighborhood weights
 
+struct DecayExpansion {
+  std::unordered_map<NodeId, double> weights;
+  bool truncated = false;
+  QueryStats stats;
+};
+
 // Decay-weighted neighborhood expansion: every node reachable from a
 // seed within `max_depth` (either direction) receives
 // sum over seeds of (decay ^ hop distance). This is the Shah-style
 // relevance spreading used by contextual history search (use case 2.1).
-util::Result<std::unordered_map<NodeId, double>> ExpandWithDecay(
+util::Result<DecayExpansion> ExpandWithDecay(
     const GraphStore& store, const std::vector<std::pair<NodeId, double>>&
         weighted_seeds,
     uint32_t max_depth, double decay, const EdgeFilter& filter = {},
-    util::QueryBudget* budget = nullptr, bool* truncated = nullptr);
+    util::QueryBudget* budget = nullptr);
 
 // --------------------------------------------------------------- cycles
 

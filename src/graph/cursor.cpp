@@ -1,0 +1,177 @@
+#include "graph/cursor.hpp"
+
+#include <utility>
+
+#include "util/strings.hpp"
+
+namespace bp::graph {
+
+using util::Result;
+using util::Status;
+
+std::string QueryStats::ToString() const {
+  return util::StrFormat(
+      "rows=%llu edges=%llu nodes=%llu budget=%llu",
+      (unsigned long long)rows_scanned, (unsigned long long)edges_expanded,
+      (unsigned long long)nodes_visited, (unsigned long long)budget_used);
+}
+
+// ------------------------------------------------------------- EdgeRef
+
+Status EdgeRef::Assign(EdgeId id, std::string row) {
+  row_ = std::move(row);
+  util::Reader r(row_);
+  id_ = id;
+  src_ = r.ReadVarint64();
+  dst_ = r.ReadVarint64();
+  kind_ = static_cast<uint32_t>(r.ReadVarint64());
+  if (!r.ok()) return Status::Corruption("malformed edge row");
+  attr_offset_ = r.position();
+  return Status::Ok();
+}
+
+Result<AttrMap> EdgeRef::attrs() const {
+  util::Reader r(std::string_view(row_).substr(attr_offset_));
+  BP_ASSIGN_OR_RETURN(AttrMap attrs, AttrMap::Decode(r));
+  BP_RETURN_IF_ERROR(r.Finish());
+  return attrs;
+}
+
+Result<Edge> EdgeRef::Materialize() const {
+  BP_ASSIGN_OR_RETURN(AttrMap attrs, this->attrs());
+  return Edge{id_, src_, dst_, kind_, std::move(attrs)};
+}
+
+// ------------------------------------------------------------- NodeRef
+
+Status NodeRef::Assign(NodeId id, std::string row) {
+  row_ = std::move(row);
+  util::Reader r(row_);
+  id_ = id;
+  kind_ = static_cast<uint32_t>(r.ReadVarint64());
+  if (!r.ok()) return Status::Corruption("malformed node row");
+  attr_offset_ = r.position();
+  return Status::Ok();
+}
+
+Result<AttrMap> NodeRef::attrs() const {
+  util::Reader r(std::string_view(row_).substr(attr_offset_));
+  BP_ASSIGN_OR_RETURN(AttrMap attrs, AttrMap::Decode(r));
+  BP_RETURN_IF_ERROR(r.Finish());
+  return attrs;
+}
+
+Result<Node> NodeRef::Materialize() const {
+  BP_ASSIGN_OR_RETURN(AttrMap attrs, this->attrs());
+  return Node{id_, kind_, std::move(attrs)};
+}
+
+// ---------------------------------------------------------- EdgeCursor
+
+EdgeCursor::EdgeCursor(const storage::BTree* adjacency,
+                       const storage::BTree* edges, NodeId node,
+                       QueryStats* stats)
+    : edges_(edges), cur_(adjacency->NewCursor()), adjacency_(true),
+      stats_(stats) {
+  cur_.SeekPrefix(util::OrderedKeyU64(node));
+  Load();
+}
+
+EdgeCursor::EdgeCursor(const storage::BTree* edges, QueryStats* stats)
+    : edges_(edges), cur_(edges->NewCursor()), adjacency_(false),
+      stats_(stats) {
+  cur_.SeekFirst();
+  Load();
+}
+
+void EdgeCursor::Fail(Status status) {
+  status_ = std::move(status);
+  valid_ = false;
+}
+
+void EdgeCursor::Count(uint64_t rows) {
+  if (stats_ != nullptr) stats_->rows_scanned += rows;
+}
+
+void EdgeCursor::Next() {
+  if (!valid_) return;
+  cur_.Next();
+  Load();
+}
+
+void EdgeCursor::Load() {
+  valid_ = false;
+  while (cur_.Valid()) {
+    if (adjacency_) {
+      // Adjacency entry: (node id, edge id) -> "". The record itself
+      // lives in the edge table.
+      const EdgeId edge_id =
+          util::DecodeOrderedKeyU64(cur_.key().substr(8));
+      auto row = edges_->Get(util::OrderedKeyU64(edge_id));
+      if (!row.ok()) {
+        // An adjacency entry without its record is an engine bug or disk
+        // damage, not a user-visible NotFound.
+        return Fail(row.status().IsNotFound()
+                        ? Status::Corruption(
+                              "adjacency entry without edge record")
+                        : row.status());
+      }
+      Count(2);  // adjacency entry + edge record
+      Status assigned = ref_.Assign(edge_id, *std::move(row));
+      if (!assigned.ok()) return Fail(std::move(assigned));
+    } else {
+      const uint64_t id = util::DecodeOrderedKeyU64(cur_.key());
+      if (id == 0) {  // table allocator cell
+        cur_.Next();
+        continue;
+      }
+      Count(1);
+      Status assigned = ref_.Assign(id, std::string(cur_.value()));
+      if (!assigned.ok()) return Fail(std::move(assigned));
+    }
+    valid_ = true;
+    return;
+  }
+  if (!cur_.status().ok()) Fail(cur_.status());
+}
+
+// ---------------------------------------------------------- NodeCursor
+
+NodeCursor::NodeCursor(const storage::BTree* nodes, NodeId min_id,
+                       QueryStats* stats)
+    : cur_(nodes->NewCursor()), stats_(stats) {
+  cur_.Seek(util::OrderedKeyU64(std::max<NodeId>(min_id, 1)));
+  Load();
+}
+
+void NodeCursor::Count(uint64_t rows) {
+  if (stats_ != nullptr) stats_->rows_scanned += rows;
+}
+
+void NodeCursor::Next() {
+  if (!valid_) return;
+  cur_.Next();
+  Load();
+}
+
+void NodeCursor::Load() {
+  valid_ = false;
+  while (cur_.Valid()) {
+    const uint64_t id = util::DecodeOrderedKeyU64(cur_.key());
+    if (id == 0) {  // table allocator cell
+      cur_.Next();
+      continue;
+    }
+    Count(1);
+    Status assigned = ref_.Assign(id, std::string(cur_.value()));
+    if (!assigned.ok()) {
+      status_ = std::move(assigned);
+      return;
+    }
+    valid_ = true;
+    return;
+  }
+  if (!cur_.status().ok()) status_ = cur_.status();
+}
+
+}  // namespace bp::graph

@@ -132,25 +132,37 @@ Status GraphStore::DeleteEdge(EdgeId id) {
   return txn.Commit();
 }
 
-Status GraphStore::ForEachEdge(
-    NodeId node, Direction dir,
-    const std::function<bool(const Edge&)>& fn) const {
-  storage::BTree* tree = dir == Direction::kOut ? out_tree_ : in_tree_;
-  std::string lo = OrderedKeyU64Pair(node, 0);
-  std::string hi =
-      node == UINT64_MAX ? std::string{} : OrderedKeyU64Pair(node + 1, 0);
-  Status inner;
-  BP_RETURN_IF_ERROR(tree->ForEachRange(
-      lo, hi, [&](std::string_view key, std::string_view) {
-        EdgeId edge_id = util::DecodeOrderedKeyU64(key.substr(8));
-        auto edge = GetEdge(edge_id);
-        if (!edge.ok()) {
-          inner = edge.status();
-          return false;
-        }
-        return fn(*edge);
-      }));
-  return inner;
+EdgeCursor GraphStore::Edges(NodeId node, Direction dir,
+                             QueryStats* stats) const {
+  const storage::BTree* tree =
+      dir == Direction::kOut ? out_tree_ : in_tree_;
+  return EdgeCursor(tree, edges_tree_, node, stats);
+}
+
+EdgeCursor GraphStore::Edges(QueryStats* stats) const {
+  return EdgeCursor(edges_tree_, stats);
+}
+
+NodeCursor GraphStore::Nodes(NodeId min_id, QueryStats* stats) const {
+  return NodeCursor(nodes_tree_, min_id, stats);
+}
+
+Result<NodeRef> GraphStore::GetNodeRef(NodeId id, QueryStats* stats) const {
+  BP_ASSIGN_OR_RETURN(std::string row,
+                      nodes_tree_->Get(util::OrderedKeyU64(id)));
+  if (stats != nullptr) ++stats->rows_scanned;
+  NodeRef ref;
+  BP_RETURN_IF_ERROR(ref.Assign(id, std::move(row)));
+  return ref;
+}
+
+Result<EdgeRef> GraphStore::GetEdgeRef(EdgeId id, QueryStats* stats) const {
+  BP_ASSIGN_OR_RETURN(std::string row,
+                      edges_tree_->Get(util::OrderedKeyU64(id)));
+  if (stats != nullptr) ++stats->rows_scanned;
+  EdgeRef ref;
+  BP_RETURN_IF_ERROR(ref.Assign(id, std::move(row)));
+  return ref;
 }
 
 Result<uint64_t> GraphStore::Degree(NodeId node, Direction dir) const {
@@ -158,29 +170,38 @@ Result<uint64_t> GraphStore::Degree(NodeId node, Direction dir) const {
   std::string lo = OrderedKeyU64Pair(node, 0);
   std::string hi =
       node == UINT64_MAX ? std::string{} : OrderedKeyU64Pair(node + 1, 0);
-  uint64_t n = 0;
-  BP_RETURN_IF_ERROR(
-      tree->ForEachRange(lo, hi, [&](std::string_view, std::string_view) {
-        ++n;
-        return true;
-      }));
-  return n;
+  return tree->CountRange(lo, hi);
+}
+
+Status GraphStore::ForEachEdge(
+    NodeId node, Direction dir,
+    const std::function<bool(const Edge&)>& fn) const {
+  EdgeCursor cur = Edges(node, dir);
+  for (; cur.Valid(); cur.Next()) {
+    BP_ASSIGN_OR_RETURN(Edge edge, cur.edge().Materialize());
+    if (!fn(edge)) break;
+  }
+  return cur.status();
 }
 
 Status GraphStore::ForEachNode(
     const std::function<bool(const Node&)>& fn) const {
-  Table<NodeRec> nodes(nodes_tree_);
-  return nodes.ForEach([&](uint64_t id, const NodeRec& rec) {
-    return fn(Node{id, rec.kind, rec.attrs});
-  });
+  NodeCursor cur = Nodes();
+  for (; cur.Valid(); cur.Next()) {
+    BP_ASSIGN_OR_RETURN(Node node, cur.node().Materialize());
+    if (!fn(node)) break;
+  }
+  return cur.status();
 }
 
 Status GraphStore::ForEachEdge(
     const std::function<bool(const Edge&)>& fn) const {
-  Table<EdgeRec> edges(edges_tree_);
-  return edges.ForEach([&](uint64_t id, const EdgeRec& rec) {
-    return fn(Edge{id, rec.src, rec.dst, rec.kind, rec.attrs});
-  });
+  EdgeCursor cur = Edges();
+  for (; cur.Valid(); cur.Next()) {
+    BP_ASSIGN_OR_RETURN(Edge edge, cur.edge().Materialize());
+    if (!fn(edge)) break;
+  }
+  return cur.status();
 }
 
 Result<uint64_t> GraphStore::NodeCount() const {

@@ -19,30 +19,12 @@
 #include <string>
 
 #include "graph/attr.hpp"
+#include "graph/cursor.hpp"
 #include "storage/db.hpp"
 #include "storage/table.hpp"
 #include "util/status.hpp"
 
 namespace bp::graph {
-
-using NodeId = uint64_t;
-using EdgeId = uint64_t;
-
-struct Node {
-  NodeId id = 0;
-  uint32_t kind = 0;
-  AttrMap attrs;
-};
-
-struct Edge {
-  EdgeId id = 0;
-  NodeId src = 0;
-  NodeId dst = 0;
-  uint32_t kind = 0;
-  AttrMap attrs;
-};
-
-enum class Direction { kOut, kIn };
 
 class GraphStore {
  public:
@@ -63,14 +45,36 @@ class GraphStore {
   util::Status PutEdge(const Edge& edge);  // kind/attrs only (not src/dst)
   util::Status DeleteEdge(EdgeId id);
 
-  // Edges leaving (kOut) or entering (kIn) `node`, in edge-id order.
-  // `fn` returns false to stop early.
-  util::Status ForEachEdge(NodeId node, Direction dir,
-                           const std::function<bool(const Edge&)>& fn) const;
+  // ------------------------------------------------------- cursors
+  //
+  // The supported read path. Cursors decode lazily (see graph/cursor.hpp)
+  // and bump `stats` (when given) with the rows they touch.
+
+  // Edges leaving (kOut) or entering (kIn) `node`, ascending edge id.
+  EdgeCursor Edges(NodeId node, Direction dir,
+                   QueryStats* stats = nullptr) const;
+  // Every edge, ascending edge id.
+  EdgeCursor Edges(QueryStats* stats = nullptr) const;
+  // Every node with id >= `min_id`, ascending.
+  NodeCursor Nodes(NodeId min_id = 1, QueryStats* stats = nullptr) const;
+
+  // Lazily-decoded point lookups (kind without AttrMap materialization).
+  util::Result<NodeRef> GetNodeRef(NodeId id,
+                                   QueryStats* stats = nullptr) const;
+  util::Result<EdgeRef> GetEdgeRef(EdgeId id,
+                                   QueryStats* stats = nullptr) const;
 
   // Degree in the given direction (counts edges, not distinct neighbors).
+  // Counts adjacency cells per leaf (BTree::CountRange) without decoding
+  // a single edge row.
   util::Result<uint64_t> Degree(NodeId node, Direction dir) const;
 
+  // ------------------------------------------- deprecated callbacks
+  //
+  // Thin wrappers over the cursors, kept for external callers; they
+  // materialize a full Edge/Node per row, which the cursor path avoids.
+  util::Status ForEachEdge(NodeId node, Direction dir,
+                           const std::function<bool(const Edge&)>& fn) const;
   util::Status ForEachNode(
       const std::function<bool(const Node&)>& fn) const;
   util::Status ForEachEdge(const std::function<bool(const Edge&)>& fn) const;

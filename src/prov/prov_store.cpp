@@ -64,11 +64,7 @@ Result<std::unique_ptr<ProvStore>> ProvStore::Open(storage::Db& db,
 Result<NodeId> ProvStore::UpsertPage(std::string_view url,
                                      std::string_view title) {
   Index index(url_index_);
-  NodeId found = 0;
-  BP_RETURN_IF_ERROR(index.ForEachEqual(url, [&](uint64_t id) {
-    found = id;
-    return false;
-  }));
+  BP_ASSIGN_OR_RETURN(NodeId found, index.FirstEqual(url));
   if (found != 0) {
     BP_ASSIGN_OR_RETURN(Node page, graph_->GetNode(found));
     page.attrs.SetInt(kAttrVisitCount,
@@ -92,11 +88,7 @@ Result<NodeId> ProvStore::UpsertPage(std::string_view url,
 
 Result<NodeId> ProvStore::UpsertTerm(std::string_view query) {
   Index index(term_index_);
-  NodeId found = 0;
-  BP_RETURN_IF_ERROR(index.ForEachEqual(query, [&](uint64_t id) {
-    found = id;
-    return false;
-  }));
+  BP_ASSIGN_OR_RETURN(NodeId found, index.FirstEqual(query));
   if (found != 0) {
     BP_ASSIGN_OR_RETURN(Node term, graph_->GetNode(found));
     term.attrs.SetInt(kAttrUseCount,
@@ -295,53 +287,45 @@ Status ProvStore::LinkFormResult(NodeId form, NodeId results_visit) {
 
 Result<NodeId> ProvStore::PageForUrl(std::string_view url) const {
   Index index(url_index_);
-  NodeId found = 0;
-  BP_RETURN_IF_ERROR(index.ForEachEqual(url, [&](uint64_t id) {
-    found = id;
-    return false;
-  }));
+  BP_ASSIGN_OR_RETURN(NodeId found, index.FirstEqual(url));
   if (found == 0) return Status::NotFound("no page node for url");
   return found;
 }
 
 Result<NodeId> ProvStore::TermForQuery(std::string_view query) const {
   Index index(term_index_);
-  NodeId found = 0;
-  BP_RETURN_IF_ERROR(index.ForEachEqual(query, [&](uint64_t id) {
-    found = id;
-    return false;
-  }));
+  BP_ASSIGN_OR_RETURN(NodeId found, index.FirstEqual(query));
   if (found == 0) return Status::NotFound("no term node for query");
   return found;
 }
 
-Result<NodeId> ProvStore::PageOfView(NodeId view) const {
+Result<NodeId> ProvStore::PageOfView(NodeId view,
+                                     graph::QueryStats* stats) const {
   if (options_.policy == VersionPolicy::kTimestampEdges) return view;
-  NodeId page = 0;
-  BP_RETURN_IF_ERROR(graph_->ForEachEdge(
-      view, Direction::kOut, [&](const Edge& edge) {
-        if (edge.kind == static_cast<uint32_t>(EdgeKind::kInstanceOf)) {
-          page = edge.dst;
-          return false;
-        }
-        return true;
-      }));
-  if (page == 0) return Status::NotFound("view has no canonical page");
-  return page;
+  graph::EdgeCursor cur =
+      graph_->Edges(view, Direction::kOut, stats);
+  for (; cur.Valid(); cur.Next()) {
+    if (cur.edge().kind() == static_cast<uint32_t>(EdgeKind::kInstanceOf)) {
+      return cur.edge().dst();
+    }
+  }
+  BP_RETURN_IF_ERROR(cur.status());
+  return Status::NotFound("view has no canonical page");
 }
 
-Result<std::vector<NodeId>> ProvStore::ViewsOfPage(NodeId page) const {
+Result<std::vector<NodeId>> ProvStore::ViewsOfPage(
+    NodeId page, graph::QueryStats* stats) const {
   if (options_.policy == VersionPolicy::kTimestampEdges) {
     return std::vector<NodeId>{page};
   }
   std::vector<NodeId> views;
-  BP_RETURN_IF_ERROR(graph_->ForEachEdge(
-      page, Direction::kIn, [&](const Edge& edge) {
-        if (edge.kind == static_cast<uint32_t>(EdgeKind::kInstanceOf)) {
-          views.push_back(edge.src);
-        }
-        return true;
-      }));
+  graph::EdgeCursor cur = graph_->Edges(page, Direction::kIn, stats);
+  for (; cur.Valid(); cur.Next()) {
+    if (cur.edge().kind() == static_cast<uint32_t>(EdgeKind::kInstanceOf)) {
+      views.push_back(cur.edge().src());
+    }
+  }
+  BP_RETURN_IF_ERROR(cur.status());
   return views;
 }
 
@@ -353,14 +337,18 @@ Result<const graph::IntervalIndex*> ProvStore::VisitIntervals() {
   }
   if (!interval_cache_valid_) {
     std::vector<graph::IntervalIndex::Entry> entries;
-    BP_RETURN_IF_ERROR(graph_->ForEachNode([&](const Node& node) {
-      if (node.kind != static_cast<uint32_t>(NodeKind::kVisit)) return true;
+    graph::NodeCursor cur = graph_->Nodes();
+    for (; cur.Valid(); cur.Next()) {
+      if (cur.node().kind() != static_cast<uint32_t>(NodeKind::kVisit)) {
+        continue;
+      }
+      BP_ASSIGN_OR_RETURN(graph::AttrMap attrs, cur.node().attrs());
       util::TimeSpan span;
-      span.open = node.attrs.IntOr(kAttrOpen, 0);
-      span.close = node.attrs.IntOr(kAttrClose, util::kTimeMax);
-      entries.push_back({span, node.id});
-      return true;
-    }));
+      span.open = attrs.IntOr(kAttrOpen, 0);
+      span.close = attrs.IntOr(kAttrClose, util::kTimeMax);
+      entries.push_back({span, cur.node().id()});
+    }
+    BP_RETURN_IF_ERROR(cur.status());
     interval_cache_.Build(std::move(entries));
     interval_cache_valid_ = true;
   }
@@ -368,21 +356,25 @@ Result<const graph::IntervalIndex*> ProvStore::VisitIntervals() {
 }
 
 Result<bool> ProvStore::CheckInvariants() const {
+  // Integrity audit, so decode EVERY edge's attributes — the cursor
+  // read path skips attr decode by design, which would otherwise let a
+  // corrupt attr section hide behind a valid varint prefix. Edge
+  // policy additionally requires a timestamp on every navigation edge
+  // (logical acyclicity comes from time-respecting traversal).
+  graph::EdgeCursor cur = graph_->Edges();
+  for (; cur.Valid(); cur.Next()) {
+    BP_ASSIGN_OR_RETURN(graph::AttrMap attrs, cur.edge().attrs());
+    if (options_.policy == VersionPolicy::kTimestampEdges &&
+        IsNavigationEdge(static_cast<EdgeKind>(cur.edge().kind())) &&
+        !attrs.GetInt(kAttrTime).has_value()) {
+      return false;
+    }
+  }
+  BP_RETURN_IF_ERROR(cur.status());
   if (options_.policy == VersionPolicy::kVersionNodes) {
     return graph::IsAcyclic(*graph_);
   }
-  // Edge policy: every navigation edge must carry a timestamp (logical
-  // acyclicity comes from time-respecting traversal).
-  bool ok = true;
-  BP_RETURN_IF_ERROR(graph_->ForEachEdge([&](const Edge& edge) {
-    if (IsNavigationEdge(static_cast<EdgeKind>(edge.kind)) &&
-        !edge.attrs.GetInt(kAttrTime).has_value()) {
-      ok = false;
-      return false;
-    }
-    return true;
-  }));
-  return ok;
+  return true;
 }
 
 }  // namespace bp::prov

@@ -109,16 +109,21 @@ class ProvStore {
   util::Status LinkFormResult(NodeId form, NodeId results_visit);
 
   // ---------------------------------------------------------- lookup
+  //
+  // All lookups run on the cursor read path; the optional `stats` sink
+  // accumulates the rows they touch into a caller's QueryStats.
   util::Result<NodeId> PageForUrl(std::string_view url) const;
   util::Result<NodeId> TermForQuery(std::string_view query) const;
 
   // Canonical page of a view node. Node policy: follows kInstanceOf;
   // edge policy: identity.
-  util::Result<NodeId> PageOfView(NodeId view) const;
+  util::Result<NodeId> PageOfView(NodeId view,
+                                  graph::QueryStats* stats = nullptr) const;
 
   // All visit instances of a page, ascending by node id (== by time).
   // Edge policy: returns {page} itself.
-  util::Result<std::vector<NodeId>> ViewsOfPage(NodeId page) const;
+  util::Result<std::vector<NodeId>> ViewsOfPage(
+      NodeId page, graph::QueryStats* stats = nullptr) const;
 
   // Visit nodes whose [open, close) span overlaps the query span (node
   // policy only — the edge policy cannot answer this, which is the

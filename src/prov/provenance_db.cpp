@@ -1,0 +1,89 @@
+#include "prov/provenance_db.hpp"
+
+#include <algorithm>
+
+namespace bp::prov {
+
+using util::Result;
+using util::Status;
+
+Result<std::unique_ptr<ProvenanceDb>> ProvenanceDb::Open(
+    const std::string& path, Options options) {
+  std::unique_ptr<ProvenanceDb> out(new ProvenanceDb());
+  out->ingest_batch_ = std::max<size_t>(1, options.ingest_batch);
+  BP_ASSIGN_OR_RETURN(out->db_, storage::Db::Open(path, options.db));
+  BP_ASSIGN_OR_RETURN(out->store_,
+                      ProvStore::Open(*out->db_, options.prov));
+  out->recorder_ =
+      std::make_unique<capture::ProvenanceRecorder>(*out->store_);
+  out->bus_.Subscribe(out->recorder_.get());
+  BP_ASSIGN_OR_RETURN(out->searcher_,
+                      search::HistorySearcher::Open(*out->db_, *out->store_));
+  return out;
+}
+
+ProvenanceDb::~ProvenanceDb() = default;
+
+Status ProvenanceDb::Ingest(const capture::BrowserEvent& event) {
+  index_stale_ = true;
+  return bus_.Publish(event);
+}
+
+Status ProvenanceDb::IngestAll(
+    const std::vector<capture::BrowserEvent>& events) {
+  for (size_t start = 0; start < events.size(); start += ingest_batch_) {
+    const size_t end = std::min(events.size(), start + ingest_batch_);
+    Batch batch(*this);
+    for (size_t i = start; i < end; ++i) {
+      BP_RETURN_IF_ERROR(Ingest(events[i]));
+    }
+    BP_RETURN_IF_ERROR(batch.Commit());
+  }
+  return Status::Ok();
+}
+
+Status ProvenanceDb::RefreshIndex() {
+  if (!index_stale_) return Status::Ok();
+  BP_RETURN_IF_ERROR(searcher_->IndexNewPages());
+  index_stale_ = false;
+  return Status::Ok();
+}
+
+Result<search::ContextualSearchResult> ProvenanceDb::Search(
+    const std::string& query,
+    const search::ContextualSearchOptions& options) {
+  BP_RETURN_IF_ERROR(RefreshIndex());
+  return searcher_->ContextualSearch(query, options);
+}
+
+Result<search::ContextualSearchResult> ProvenanceDb::TextualSearch(
+    const std::string& query, size_t k) {
+  BP_RETURN_IF_ERROR(RefreshIndex());
+  return searcher_->TextualSearch(query, k);
+}
+
+Result<search::PersonalizationResult> ProvenanceDb::Personalize(
+    const std::string& query, const search::PersonalizeOptions& options) {
+  BP_RETURN_IF_ERROR(RefreshIndex());
+  return search::PersonalizeQuery(*searcher_, query, options);
+}
+
+Result<search::TimeContextResult> ProvenanceDb::TimeContext(
+    const std::string& primary_query, const std::string& context_query,
+    const search::TimeContextOptions& options) {
+  BP_RETURN_IF_ERROR(RefreshIndex());
+  return search::TimeContextualSearch(*searcher_, primary_query,
+                                      context_query, options);
+}
+
+Result<search::LineageReport> ProvenanceDb::TraceDownload(
+    graph::NodeId download, const search::LineageOptions& options) {
+  return search::TraceDownload(*store_, download, options);
+}
+
+Result<search::DescendantReport> ProvenanceDb::DescendantDownloads(
+    const std::string& url, const search::LineageOptions& options) {
+  return search::DescendantDownloads(*store_, url, options);
+}
+
+}  // namespace bp::prov

@@ -1,0 +1,139 @@
+// ProvenanceDb: the one supported way to stand the system up.
+//
+// Owns the whole stack — storage engine (Db), provenance store, event
+// bus + recorder, and the history searcher — behind a single
+// Open(path, Options), and exposes the paper's query surface directly:
+//
+//   auto db = prov::ProvenanceDb::Open("history.db", options);
+//   BP_RETURN_IF_ERROR((*db)->IngestAll(session.events()));
+//   auto hits = (*db)->Search("rosebud");
+//   auto lineage = (*db)->TraceDownload(download_node);
+//
+// Every query result carries the QueryStats its cursors accumulated.
+// The text index is refreshed lazily: ingestion marks it stale and the
+// next text-backed query re-indexes the new pages, so bursts of capture
+// never pay indexing latency inline.
+//
+// The owned EventBus is exposed so additional sinks (e.g. the Places
+// baseline recorder used by the storage-overhead experiment) can ride
+// the same stream; Publish delivers to every sink before reporting the
+// first error, keeping those streams identical.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "capture/bus.hpp"
+#include "capture/recorders.hpp"
+#include "prov/prov_store.hpp"
+#include "search/history_search.hpp"
+#include "search/lineage.hpp"
+#include "search/personalize.hpp"
+#include "search/time_context.hpp"
+#include "storage/db.hpp"
+#include "util/status.hpp"
+
+namespace bp::prov {
+
+class ProvenanceDb {
+ public:
+  struct Options {
+    // Storage knobs (env, cache, durability). The default WAL + group
+    // commit configuration is the sustained-capture path; pass a MemEnv
+    // via db.env for tests and examples.
+    storage::DbOptions db;
+    // Schema knobs (versioning policy, close-time recording).
+    ProvOptions prov;
+    // Events per storage transaction in IngestAll.
+    size_t ingest_batch = 256;
+
+    Options() {
+      db.durability = storage::DurabilityMode::kWal;
+      db.wal_group_commit = 8;
+    }
+  };
+
+  // Opens (creating if needed) the full stack at `path`.
+  static util::Result<std::unique_ptr<ProvenanceDb>> Open(
+      const std::string& path, Options options = {});
+
+  ~ProvenanceDb();
+  ProvenanceDb(const ProvenanceDb&) = delete;
+  ProvenanceDb& operator=(const ProvenanceDb&) = delete;
+
+  // ----------------------------------------------------- ingestion
+
+  // Publishes one event to every subscribed sink.
+  util::Status Ingest(const capture::BrowserEvent& event);
+
+  // Publishes all events, `ingest_batch` per storage transaction (with
+  // WAL group commit, adjacent batches additionally share an fsync).
+  util::Status IngestAll(const std::vector<capture::BrowserEvent>& events);
+
+  // Groups many Ingest calls into one storage transaction. Destruction
+  // without Commit rolls the batch back.
+  //
+  //   { prov::ProvenanceDb::Batch batch(*db);
+  //     ... db->Ingest(...); db->Ingest(...); ...
+  //     BP_RETURN_IF_ERROR(batch.Commit()); }
+  class Batch {
+   public:
+    explicit Batch(ProvenanceDb& db) : inner_(*db.store_) {}
+    util::Status Commit() { return inner_.Commit(); }
+
+   private:
+    ProvStore::IngestBatch inner_;
+  };
+
+  // ------------------------------------------------------- queries
+  //
+  // Use case 2.1: provenance-aware contextual history search.
+  util::Result<search::ContextualSearchResult> Search(
+      const std::string& query,
+      const search::ContextualSearchOptions& options = {});
+  // The textual baseline (BM25 only), for comparison.
+  util::Result<search::ContextualSearchResult> TextualSearch(
+      const std::string& query, size_t k = 10);
+  // Use case 2.2: private query expansion from the user's own history.
+  util::Result<search::PersonalizationResult> Personalize(
+      const std::string& query, const search::PersonalizeOptions& options = {});
+  // Use case 2.3: co-open boosting ("wine associated with plane tickets").
+  util::Result<search::TimeContextResult> TimeContext(
+      const std::string& primary_query, const std::string& context_query,
+      const search::TimeContextOptions& options = {});
+  // Use case 2.4: first recognizable ancestor of a download.
+  util::Result<search::LineageReport> TraceDownload(
+      graph::NodeId download, const search::LineageOptions& options = {});
+  // Use case 2.4: all downloads descending from an (untrusted) page.
+  util::Result<search::DescendantReport> DescendantDownloads(
+      const std::string& url, const search::LineageOptions& options = {});
+
+  // --------------------------------------------------- layer access
+  //
+  // The facade is the supported entry point; the layers stay reachable
+  // for experiments, benches, and tests.
+  storage::Db& db() { return *db_; }
+  ProvStore& store() { return *store_; }
+  search::HistorySearcher& searcher() { return *searcher_; }
+  // Stream-id -> node mappings for events ingested through this facade.
+  const capture::ProvenanceRecorder& recorder() const { return *recorder_; }
+  // Subscribe additional sinks; they see exactly the ingested stream.
+  capture::EventBus& bus() { return bus_; }
+
+ private:
+  ProvenanceDb() = default;
+
+  // Re-indexes pages added since the last text-backed query.
+  util::Status RefreshIndex();
+
+  std::unique_ptr<storage::Db> db_;
+  std::unique_ptr<ProvStore> store_;
+  std::unique_ptr<capture::ProvenanceRecorder> recorder_;
+  capture::EventBus bus_;
+  std::unique_ptr<search::HistorySearcher> searcher_;
+  size_t ingest_batch_ = 256;
+  bool index_stale_ = false;
+};
+
+}  // namespace bp::prov

@@ -28,29 +28,37 @@ Result<std::unique_ptr<HistorySearcher>> HistorySearcher::Open(
 }
 
 Status HistorySearcher::IndexNewPages() {
-  // Canonical page nodes carry url+title; node ids ascend, so a
-  // watermark makes this incremental.
+  // Canonical page nodes carry url+title; node ids ascend, so the cursor
+  // seeks straight to the first node past the watermark instead of
+  // scanning (and skipping) everything below it.
   NodeId high = indexed_watermark_;
-  BP_RETURN_IF_ERROR(store_.graph().ForEachNode([&](const Node& node) {
-    if (node.id <= indexed_watermark_) return true;
-    high = std::max(high, node.id);
-    if (node.kind != static_cast<uint32_t>(NodeKind::kPage)) return true;
-    std::string doc(node.attrs.StringOr(prov::kAttrUrl, ""));
+  graph::NodeCursor cur = store_.graph().Nodes(indexed_watermark_ + 1);
+  for (; cur.Valid(); cur.Next()) {
+    high = std::max(high, cur.node().id());
+    if (cur.node().kind() != static_cast<uint32_t>(NodeKind::kPage)) {
+      continue;
+    }
+    BP_ASSIGN_OR_RETURN(graph::AttrMap attrs, cur.node().attrs());
+    std::string doc(attrs.StringOr(prov::kAttrUrl, ""));
     doc += ' ';
-    doc += node.attrs.StringOr(prov::kAttrTitle, "");
-    Status st = index_->AddDocument(node.id, text::Tokenize(doc));
-    return st.ok();
-  }));
+    doc += attrs.StringOr(prov::kAttrTitle, "");
+    BP_RETURN_IF_ERROR(
+        index_->AddDocument(cur.node().id(), text::Tokenize(doc)));
+  }
+  BP_RETURN_IF_ERROR(cur.status());
   indexed_watermark_ = high;
   return index_->Flush();
 }
 
-Result<RankedPage> HistorySearcher::MakeRankedPage(NodeId page_node) const {
-  BP_ASSIGN_OR_RETURN(Node node, store_.graph().GetNode(page_node));
+Result<RankedPage> HistorySearcher::MakeRankedPage(
+    NodeId page_node, graph::QueryStats* stats) const {
+  BP_ASSIGN_OR_RETURN(graph::NodeRef node,
+                      store_.graph().GetNodeRef(page_node, stats));
+  BP_ASSIGN_OR_RETURN(graph::AttrMap attrs, node.attrs());
   RankedPage page;
   page.page = page_node;
-  page.url = std::string(node.attrs.StringOr(prov::kAttrUrl, ""));
-  page.title = std::string(node.attrs.StringOr(prov::kAttrTitle, ""));
+  page.url = std::string(attrs.StringOr(prov::kAttrUrl, ""));
+  page.title = std::string(attrs.StringOr(prov::kAttrTitle, ""));
   return page;
 }
 
@@ -60,7 +68,8 @@ Result<ContextualSearchResult> HistorySearcher::TextualSearch(
                       index_->Search(text::Tokenize(query), k));
   ContextualSearchResult result;
   for (const text::ScoredDoc& doc : docs) {
-    BP_ASSIGN_OR_RETURN(RankedPage page, MakeRankedPage(doc.doc));
+    BP_ASSIGN_OR_RETURN(RankedPage page,
+                        MakeRankedPage(doc.doc, &result.stats));
     page.text_score = doc.score;
     page.total = doc.score;
     result.pages.push_back(std::move(page));
@@ -95,41 +104,49 @@ Result<ContextualSearchResult> HistorySearcher::ContextualSearch(
   // Multi-token queries may exist as full term nodes ("plane tickets").
   if (tokens.size() > 1) {
     auto term = store_.TermForQuery(query);
-    if (term.ok()) seeds.push_back({*term, 1.5});
+    if (term.ok()) {
+      seeds.push_back({*term, 1.5});
+    } else if (!term.status().IsNotFound()) {
+      return term.status();
+    }
   }
 
   // Stage 2: spread relevance through the provenance neighborhood.
   graph::EdgeFilter filter;
   if (options.unify_automatic_edges) {
-    filter = [](const Edge& edge) {
-      return !prov::IsAutomaticEdge(static_cast<EdgeKind>(edge.kind));
+    filter = [](const graph::EdgeRef& edge) {
+      return !prov::IsAutomaticEdge(static_cast<EdgeKind>(edge.kind()));
     };
   }
-  bool truncated = false;
   BP_ASSIGN_OR_RETURN(
-      auto weights,
+      graph::DecayExpansion expansion,
       graph::ExpandWithDecay(store_.graph(), seeds, options.expand_depth,
-                             options.decay, filter, options.budget,
-                             &truncated));
+                             options.decay, filter, options.budget));
 
-  // Stage 3: fold weights onto canonical pages and blend.
+  ContextualSearchResult result;
+  result.truncated = expansion.truncated;
+  result.stats = expansion.stats;
+
+  // Stage 3: fold weights onto canonical pages and blend. Lazy node refs
+  // keep this cheap: only the kind is decoded unless the node is a page
+  // we actually rank.
   std::unordered_map<NodeId, double> page_prov;
-  for (const auto& [node_id, weight] : weights) {
-    BP_ASSIGN_OR_RETURN(Node node, store_.graph().GetNode(node_id));
+  for (const auto& [node_id, weight] : expansion.weights) {
+    BP_ASSIGN_OR_RETURN(graph::NodeRef node,
+                        store_.graph().GetNodeRef(node_id, &result.stats));
     NodeId page = 0;
-    if (node.kind == static_cast<uint32_t>(NodeKind::kPage)) {
+    if (node.kind() == static_cast<uint32_t>(NodeKind::kPage)) {
       page = node_id;
-    } else if (node.kind == static_cast<uint32_t>(NodeKind::kVisit)) {
-      auto canonical = store_.PageOfView(node_id);
+    } else if (node.kind() == static_cast<uint32_t>(NodeKind::kVisit)) {
+      auto canonical = store_.PageOfView(node_id, &result.stats);
       if (canonical.ok()) page = *canonical;
     }
     if (page != 0) page_prov[page] += weight;
   }
 
-  ContextualSearchResult result;
-  result.truncated = truncated;
   for (const auto& [page_id, prov_score] : page_prov) {
-    BP_ASSIGN_OR_RETURN(RankedPage page, MakeRankedPage(page_id));
+    BP_ASSIGN_OR_RETURN(RankedPage page,
+                        MakeRankedPage(page_id, &result.stats));
     auto text_it = text_scores.find(page_id);
     page.text_score = text_it == text_scores.end() ? 0.0 : text_it->second;
     page.prov_score = prov_score;

@@ -51,6 +51,10 @@ struct ContextualSearchOptions {
 struct ContextualSearchResult {
   std::vector<RankedPage> pages;
   bool truncated = false;
+  // Graph-side work: expansion rows/edges plus the page records folded
+  // and fetched. (The inverted index's own postings reads are not graph
+  // rows and are not counted here.)
+  graph::QueryStats stats;
 };
 
 // Owns the inverted index over history pages (trees "textindex.*") and
@@ -80,7 +84,8 @@ class HistorySearcher {
   HistorySearcher(storage::Db& db, prov::ProvStore& store)
       : db_(db), store_(store) {}
 
-  util::Result<RankedPage> MakeRankedPage(NodeId page_node) const;
+  util::Result<RankedPage> MakeRankedPage(NodeId page_node,
+                                          graph::QueryStats* stats) const;
 
   storage::Db& db_;
   prov::ProvStore& store_;

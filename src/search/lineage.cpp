@@ -65,20 +65,24 @@ Result<LineageStep> MakeStep(prov::ProvStore& store, NodeId node_id) {
 }
 
 // Visit-count of the canonical page behind a lineage node (0 when the
-// node has no page, e.g. a search term).
-Result<std::pair<NodeId, int64_t>> PageAndVisitCount(prov::ProvStore& store,
-                                                     const Node& node) {
+// node has no page, e.g. a search term). Lazy refs: only node kinds are
+// decoded until a candidate page's attributes are actually needed.
+Result<std::pair<NodeId, int64_t>> PageAndVisitCount(
+    prov::ProvStore& store, const graph::NodeRef& node,
+    graph::QueryStats* stats) {
   NodeId page = 0;
-  if (node.kind == static_cast<uint32_t>(NodeKind::kPage)) {
-    page = node.id;
-  } else if (node.kind == static_cast<uint32_t>(NodeKind::kVisit)) {
-    auto canonical = store.PageOfView(node.id);
+  if (node.kind() == static_cast<uint32_t>(NodeKind::kPage)) {
+    page = node.id();
+  } else if (node.kind() == static_cast<uint32_t>(NodeKind::kVisit)) {
+    auto canonical = store.PageOfView(node.id(), stats);
     if (canonical.ok()) page = *canonical;
   }
   if (page == 0) return std::pair<NodeId, int64_t>{0, 0};
-  BP_ASSIGN_OR_RETURN(Node page_node, store.graph().GetNode(page));
+  BP_ASSIGN_OR_RETURN(graph::NodeRef page_node,
+                      store.graph().GetNodeRef(page, stats));
+  BP_ASSIGN_OR_RETURN(graph::AttrMap attrs, page_node.attrs());
   return std::pair<NodeId, int64_t>{
-      page, page_node.attrs.IntOr(prov::kAttrVisitCount, 0)};
+      page, attrs.IntOr(prov::kAttrVisitCount, 0)};
 }
 
 }  // namespace
@@ -98,8 +102,8 @@ Result<LineageReport> TraceDownload(prov::ProvStore& store,
   // Ancestry must not cross kInstanceOf edges backwards into *other*
   // visits of the same page (a page's canonical node has in-edges from
   // every visit, not just this chain). Walk only action edges.
-  topts.edge_filter = [](const graph::Edge& edge) {
-    EdgeKind kind = static_cast<EdgeKind>(edge.kind);
+  topts.edge_filter = [](const graph::EdgeRef& edge) {
+    EdgeKind kind = static_cast<EdgeKind>(edge.kind());
     return kind != EdgeKind::kInstanceOf &&
            kind != EdgeKind::kTermInstanceOf;
   };
@@ -110,13 +114,17 @@ Result<LineageReport> TraceDownload(prov::ProvStore& store,
   LineageReport report;
   report.truncated = traversal.truncated;
   report.ancestors_scanned = traversal.visits.size();
+  report.stats = traversal.stats;
 
   // First (nearest) recognizable ancestor in BFS order.
   NodeId found_node = 0;
   for (const VisitRecord& record : traversal.visits) {
     if (record.node == download_node) continue;
-    BP_ASSIGN_OR_RETURN(Node node, store.graph().GetNode(record.node));
-    BP_ASSIGN_OR_RETURN(auto page_count, PageAndVisitCount(store, node));
+    BP_ASSIGN_OR_RETURN(graph::NodeRef node,
+                        store.graph().GetNodeRef(record.node,
+                                                 &report.stats));
+    BP_ASSIGN_OR_RETURN(auto page_count,
+                        PageAndVisitCount(store, node, &report.stats));
     if (page_count.first != 0 &&
         page_count.second >= options.min_visit_count) {
       report.found_recognizable = true;
@@ -146,18 +154,20 @@ Result<LineageReport> TraceDownload(prov::ProvStore& store,
   return report;
 }
 
-Result<std::vector<DescendantDownload>> DescendantDownloads(
+Result<DescendantReport> DescendantDownloads(
     prov::ProvStore& store, const std::string& url,
     const LineageOptions& options) {
+  DescendantReport report;
   BP_ASSIGN_OR_RETURN(NodeId page, store.PageForUrl(url));
-  BP_ASSIGN_OR_RETURN(std::vector<NodeId> views, store.ViewsOfPage(page));
+  BP_ASSIGN_OR_RETURN(std::vector<NodeId> views,
+                      store.ViewsOfPage(page, &report.stats));
 
   TraversalOptions topts;
   topts.direction = Direction::kOut;
   topts.max_depth = options.max_depth;
   topts.budget = options.budget;
-  topts.edge_filter = [](const graph::Edge& edge) {
-    EdgeKind kind = static_cast<EdgeKind>(edge.kind);
+  topts.edge_filter = [](const graph::EdgeRef& edge) {
+    EdgeKind kind = static_cast<EdgeKind>(edge.kind());
     return kind != EdgeKind::kInstanceOf &&
            kind != EdgeKind::kTermInstanceOf;
   };
@@ -166,9 +176,15 @@ Result<std::vector<DescendantDownload>> DescendantDownloads(
   for (NodeId view : views) {
     BP_ASSIGN_OR_RETURN(graph::TraversalResult traversal,
                         graph::Bfs(store.graph(), view, topts));
+    report.stats += traversal.stats;
+    report.truncated = report.truncated || traversal.truncated;
     for (const VisitRecord& record : traversal.visits) {
-      BP_ASSIGN_OR_RETURN(Node node, store.graph().GetNode(record.node));
-      if (node.kind != static_cast<uint32_t>(NodeKind::kDownload)) continue;
+      BP_ASSIGN_OR_RETURN(graph::NodeRef node,
+                          store.graph().GetNodeRef(record.node,
+                                                   &report.stats));
+      if (node.kind() != static_cast<uint32_t>(NodeKind::kDownload)) {
+        continue;
+      }
       auto it = found.find(record.node);
       if (it == found.end() || record.depth < it->second) {
         found[record.node] = record.depth;
@@ -176,25 +192,25 @@ Result<std::vector<DescendantDownload>> DescendantDownloads(
     }
   }
 
-  std::vector<DescendantDownload> downloads;
-  downloads.reserve(found.size());
+  report.downloads.reserve(found.size());
   for (const auto& [node_id, depth] : found) {
-    BP_ASSIGN_OR_RETURN(Node node, store.graph().GetNode(node_id));
+    BP_ASSIGN_OR_RETURN(graph::NodeRef node,
+                        store.graph().GetNodeRef(node_id, &report.stats));
+    BP_ASSIGN_OR_RETURN(graph::AttrMap attrs, node.attrs());
     DescendantDownload download;
     download.download = node_id;
-    download.source_url =
-        std::string(node.attrs.StringOr(prov::kAttrUrl, ""));
+    download.source_url = std::string(attrs.StringOr(prov::kAttrUrl, ""));
     download.target_path =
-        std::string(node.attrs.StringOr(prov::kAttrTarget, ""));
+        std::string(attrs.StringOr(prov::kAttrTarget, ""));
     download.depth = depth;
-    downloads.push_back(std::move(download));
+    report.downloads.push_back(std::move(download));
   }
-  std::sort(downloads.begin(), downloads.end(),
+  std::sort(report.downloads.begin(), report.downloads.end(),
             [](const DescendantDownload& a, const DescendantDownload& b) {
               if (a.depth != b.depth) return a.depth < b.depth;
               return a.download < b.download;
             });
-  return downloads;
+  return report;
 }
 
 }  // namespace bp::search

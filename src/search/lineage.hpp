@@ -46,6 +46,7 @@ struct LineageReport {
   std::vector<LineageStep> path;
   uint64_t ancestors_scanned = 0;
   bool truncated = false;
+  graph::QueryStats stats;
 };
 
 // Walks the ancestry of `download_node` (a kDownload node) to the first
@@ -61,8 +62,14 @@ struct DescendantDownload {
   uint32_t depth = 0;  // hops from the untrusted page's nearest view
 };
 
+struct DescendantReport {
+  std::vector<DescendantDownload> downloads;
+  bool truncated = false;
+  graph::QueryStats stats;
+};
+
 // All downloads reachable from any view of the page with `url`.
-util::Result<std::vector<DescendantDownload>> DescendantDownloads(
+util::Result<DescendantReport> DescendantDownloads(
     prov::ProvStore& store, const std::string& url,
     const LineageOptions& options = {});
 

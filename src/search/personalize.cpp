@@ -31,6 +31,7 @@ Result<PersonalizationResult> PersonalizeQuery(
   BP_ASSIGN_OR_RETURN(ContextualSearchResult history,
                       searcher.ContextualSearch(query, copts));
   result.truncated = history.truncated;
+  result.stats = history.stats;
 
   std::unordered_set<std::string> query_terms;
   for (const std::string& t : text::Tokenize(query)) query_terms.insert(t);

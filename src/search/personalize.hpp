@@ -30,6 +30,7 @@ struct PersonalizationResult {
   std::vector<std::string> expansion_terms;
   std::vector<TermCandidate> candidates;  // diagnostics (stay local)
   bool truncated = false;
+  graph::QueryStats stats;  // from the inner contextual search
 
   // The exact string the engine would receive.
   std::string AugmentedQuery() const;

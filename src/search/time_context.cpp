@@ -17,25 +17,28 @@ Result<TimeContextResult> TimeContextualSearch(
     const std::string& context_query, const TimeContextOptions& options) {
   prov::ProvStore& store = searcher.store();
 
+  TimeContextResult result;
   BP_ASSIGN_OR_RETURN(
       ContextualSearchResult primary,
       searcher.TextualSearch(primary_query, options.candidate_pool));
   BP_ASSIGN_OR_RETURN(
       ContextualSearchResult context,
       searcher.TextualSearch(context_query, options.candidate_pool));
+  result.stats += primary.stats;
+  result.stats += context.stats;
 
   // Visit nodes of every context page.
   std::unordered_set<NodeId> context_visits;
   for (const RankedPage& page : context.pages) {
     BP_ASSIGN_OR_RETURN(std::vector<NodeId> views,
-                        store.ViewsOfPage(page.page));
+                        store.ViewsOfPage(page.page, &result.stats));
     context_visits.insert(views.begin(), views.end());
   }
 
   BP_ASSIGN_OR_RETURN(const graph::IntervalIndex* intervals,
                       store.VisitIntervals());
 
-  TimeContextResult result;
+  graph::BudgetScope budget_scope(options.budget, &result.stats);
   for (const RankedPage& page : primary.pages) {
     if (options.budget != nullptr && !options.budget->Charge()) {
       result.truncated = true;
@@ -45,21 +48,25 @@ Result<TimeContextResult> TimeContextualSearch(
     match.page = page;
 
     BP_ASSIGN_OR_RETURN(std::vector<NodeId> views,
-                        store.ViewsOfPage(page.page));
+                        store.ViewsOfPage(page.page, &result.stats));
     for (NodeId view : views) {
-      BP_ASSIGN_OR_RETURN(Node node, store.graph().GetNode(view));
-      if (node.kind != static_cast<uint32_t>(NodeKind::kVisit)) continue;
+      BP_ASSIGN_OR_RETURN(graph::NodeRef node,
+                          store.graph().GetNodeRef(view, &result.stats));
+      if (node.kind() != static_cast<uint32_t>(NodeKind::kVisit)) continue;
+      BP_ASSIGN_OR_RETURN(graph::AttrMap attrs, node.attrs());
       TimeSpan span;
-      span.open = node.attrs.IntOr(prov::kAttrOpen, 0);
-      span.close = node.attrs.IntOr(prov::kAttrClose, util::kTimeMax);
+      span.open = attrs.IntOr(prov::kAttrOpen, 0);
+      span.close = attrs.IntOr(prov::kAttrClose, util::kTimeMax);
       for (uint64_t other : intervals->Overlapping(span)) {
         if (other == view || context_visits.count(other) == 0) continue;
         match.co_open = true;
-        BP_ASSIGN_OR_RETURN(Node other_node, store.graph().GetNode(other));
+        BP_ASSIGN_OR_RETURN(graph::NodeRef other_node,
+                            store.graph().GetNodeRef(other, &result.stats));
+        BP_ASSIGN_OR_RETURN(graph::AttrMap other_attrs, other_node.attrs());
         TimeSpan other_span;
-        other_span.open = other_node.attrs.IntOr(prov::kAttrOpen, 0);
+        other_span.open = other_attrs.IntOr(prov::kAttrOpen, 0);
         other_span.close =
-            other_node.attrs.IntOr(prov::kAttrClose, util::kTimeMax);
+            other_attrs.IntOr(prov::kAttrClose, util::kTimeMax);
         const auto lo = std::max(span.open, other_span.open);
         const auto hi = std::min(span.close, other_span.close);
         if (hi > lo) match.overlap_ms += static_cast<double>(hi - lo);
@@ -82,6 +89,7 @@ Result<TimeContextResult> TimeContextualSearch(
               return a.page.page < b.page.page;
             });
   if (result.matches.size() > options.k) result.matches.resize(options.k);
+  budget_scope.Flush();  // before `result` moves into the Result
   return result;
 }
 

@@ -33,6 +33,7 @@ struct TimeContextMatch {
 struct TimeContextResult {
   std::vector<TimeContextMatch> matches;
   bool truncated = false;
+  graph::QueryStats stats;
 };
 
 // Ranks pages matching `primary_query` by text score, boosted by co-open

@@ -705,49 +705,124 @@ Status BTree::Delete(std::string_view key) {
   return txn.Commit();
 }
 
+// --------------------------------------------------------------- cursor
+
+void BTree::Cursor::Fail(Status status) {
+  status_ = std::move(status);
+  valid_ = false;
+}
+
+void BTree::Cursor::Seek(std::string_view target) {
+  bound_prefix_.clear();
+  bound_hi_.clear();
+  status_ = Status::Ok();
+  SeekInternal(target, /*exclusive=*/false);
+}
+
+void BTree::Cursor::SeekPrefix(std::string_view prefix) {
+  status_ = Status::Ok();
+  bound_prefix_.assign(prefix);
+  bound_hi_.clear();
+  SeekInternal(prefix, /*exclusive=*/false);
+}
+
+void BTree::Cursor::SeekRange(std::string_view lo, std::string_view hi) {
+  status_ = Status::Ok();
+  bound_prefix_.clear();
+  bound_hi_.assign(hi);
+  SeekInternal(lo, /*exclusive=*/false);
+}
+
+void BTree::Cursor::SeekInternal(std::string_view target, bool exclusive) {
+  valid_ = false;
+  BP_CHECK(tree_ != nullptr, "Seek on a default-constructed cursor");
+  change_stamp_ = tree_->pager_.change_count();
+  auto leaf = tree_->LeafForKey(target, nullptr);
+  if (!leaf.ok()) return Fail(leaf.status());
+  leaf_ = *leaf;
+  {
+    auto ref = tree_->pager_.Get(leaf_);
+    if (!ref.ok()) return Fail(ref.status());
+    pos_ = target.empty() ? 0 : LowerBound(ref->data(), target);
+    if (exclusive && pos_ < NCells(ref->data()) &&
+        ParseLeafCell(CellBytes(ref->data(), pos_)).key == target) {
+      ++pos_;
+    }
+  }
+  LoadOrAdvance();
+}
+
+void BTree::Cursor::Next() {
+  if (!valid_) return;  // exhausted or errored: stay put
+  if (change_stamp_ != tree_->pager_.change_count()) {
+    // Something mutated (possibly the entry under us): the (leaf_, pos_)
+    // slot is no longer trustworthy. Re-seek by key to the successor of
+    // the last entry returned.
+    std::string last = std::move(key_);
+    SeekInternal(last, /*exclusive=*/true);
+    return;
+  }
+  ++pos_;
+  LoadOrAdvance();
+}
+
+void BTree::Cursor::LoadOrAdvance() {
+  valid_ = false;
+  while (leaf_ != kNoPage) {
+    auto ref = tree_->pager_.Get(leaf_);
+    if (!ref.ok()) return Fail(ref.status());
+    const char* p = ref->data();
+    BP_CHECK(NodeType(p) == kTypeLeaf, "cursor left the leaf level");
+    if (pos_ >= NCells(p)) {
+      // Off the end of this leaf (empty leaves exist only as an empty
+      // root): follow the chain.
+      leaf_ = Aux(p);
+      pos_ = 0;
+      continue;
+    }
+    LeafCell cell = ParseLeafCell(CellBytes(p, pos_));
+    // Bounds are checked before the value is touched: an out-of-range
+    // entry costs neither an overflow read nor a rows_scanned tick.
+    if (!bound_prefix_.empty() &&
+        (cell.key.size() < bound_prefix_.size() ||
+         cell.key.substr(0, bound_prefix_.size()) != bound_prefix_)) {
+      return;  // past the prefix bound: exhausted, status stays Ok
+    }
+    if (!bound_hi_.empty() && cell.key >= bound_hi_) {
+      return;  // past the range bound: exhausted, status stays Ok
+    }
+    ++rows_scanned_;
+    key_.assign(cell.key);
+    if (cell.is_overflow) {
+      // The chain read takes its own page refs; copy what we need from
+      // `cell` first, then drop `ref` by scope exit order (safe: PageRefs
+      // only pin, reads do not recurse into this leaf).
+      auto value = tree_->ReadOverflowChain(cell.first_overflow,
+                                            cell.total_len);
+      if (!value.ok()) return Fail(value.status());
+      value_ = *std::move(value);
+    } else {
+      value_.assign(cell.inline_value);
+    }
+    valid_ = true;
+    return;
+  }
+}
+
 // ---------------------------------------------------------------- scans
+//
+// The ForEach* family survives as thin wrappers so existing callers keep
+// working; all internal read paths sit on Cursor directly.
 
 Status BTree::ForEachRange(
     std::string_view lo, std::string_view hi,
     const std::function<bool(std::string_view, std::string_view)>& fn)
     const {
-  BP_ASSIGN_OR_RETURN(PageId leaf_id,
-                      LeafForKey(lo.empty() ? std::string_view("\0", 1) : lo,
-                                 nullptr));
-  // An empty `lo` must start at the leftmost leaf; LeafForKey with a
-  // minimal key already lands there because separators are real keys.
-  PageId page_id = leaf_id;
-  uint32_t pos_init;
-  {
-    BP_ASSIGN_OR_RETURN(PageRef ref, pager_.Get(page_id));
-    pos_init = lo.empty() ? 0 : LowerBound(ref.data(), lo);
+  Cursor cur = NewCursor();
+  for (cur.SeekRange(lo, hi); cur.Valid(); cur.Next()) {
+    if (!fn(cur.key(), cur.value())) break;
   }
-  uint32_t pos = pos_init;
-  while (page_id != kNoPage) {
-    PageId next;
-    uint16_t ncells;
-    {
-      BP_ASSIGN_OR_RETURN(PageRef ref, pager_.Get(page_id));
-      const char* p = ref.data();
-      ncells = NCells(p);
-      next = Aux(p);
-      for (; pos < ncells; ++pos) {
-        LeafCell cell = ParseLeafCell(CellBytes(p, pos));
-        if (!hi.empty() && cell.key >= hi) return Status::Ok();
-        if (cell.is_overflow) {
-          BP_ASSIGN_OR_RETURN(
-              std::string value,
-              ReadOverflowChain(cell.first_overflow, cell.total_len));
-          if (!fn(cell.key, value)) return Status::Ok();
-        } else {
-          if (!fn(cell.key, cell.inline_value)) return Status::Ok();
-        }
-      }
-    }
-    page_id = next;
-    pos = 0;
-  }
-  return Status::Ok();
+  return cur.status();
 }
 
 Status BTree::ForEach(
@@ -760,25 +835,42 @@ Status BTree::ForEachPrefix(
     std::string_view prefix,
     const std::function<bool(std::string_view, std::string_view)>& fn)
     const {
-  if (prefix.empty()) return ForEach(fn);
-  return ForEachRange(
-      prefix, {},
-      [&](std::string_view key, std::string_view value) {
-        if (key.size() < prefix.size() ||
-            key.substr(0, prefix.size()) != prefix) {
-          return false;
-        }
-        return fn(key, value);
-      });
+  Cursor cur = NewCursor();
+  for (cur.SeekPrefix(prefix); cur.Valid(); cur.Next()) {
+    if (!fn(cur.key(), cur.value())) break;
+  }
+  return cur.status();
+}
+
+Result<uint64_t> BTree::CountRange(std::string_view lo,
+                                   std::string_view hi) const {
+  BP_ASSIGN_OR_RETURN(PageId page_id, LeafForKey(lo, nullptr));
+  uint64_t n = 0;
+  bool first = true;
+  while (page_id != kNoPage) {
+    BP_ASSIGN_OR_RETURN(PageRef ref, pager_.Get(page_id));
+    const char* p = ref.data();
+    const uint32_t start =
+        first && !lo.empty() ? LowerBound(p, lo) : 0;
+    first = false;
+    uint32_t end = NCells(p);
+    if (!hi.empty()) {
+      // hi may fall inside this leaf; binary-search the boundary instead
+      // of decoding every cell.
+      uint32_t bound = LowerBound(p, hi);
+      if (bound < end) {
+        n += bound > start ? bound - start : 0;
+        return n;
+      }
+    }
+    n += end > start ? end - start : 0;
+    page_id = Aux(p);
+  }
+  return n;
 }
 
 Result<uint64_t> BTree::Count() const {
-  uint64_t n = 0;
-  BP_RETURN_IF_ERROR(ForEach([&](std::string_view, std::string_view) {
-    ++n;
-    return true;
-  }));
-  return n;
+  return CountRange({}, {});
 }
 
 // ---------------------------------------------------------------- stats

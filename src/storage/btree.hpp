@@ -15,8 +15,15 @@
 // Deletion frees emptied pages and collapses empty interior nodes but
 // does not rebalance underfull siblings — the workloads here (history
 // stores) are append-mostly, so partial space reuse via the freelist is
-// the right cost/complexity point. Mutating the tree invalidates open
-// cursors.
+// the right cost/complexity point.
+//
+// Reads go through Cursor (Seek/SeekPrefix/Next): a cursor remembers its
+// (leaf page, slot) position plus a snapshot of the pager's change
+// counter, so steady-state iteration is a slot increment, and any
+// interleaved write downgrades the next advance to a by-key re-seek —
+// cursors survive mutation of the tree (including deletion of the entry
+// under them) instead of being invalidated. The ForEach* callbacks are
+// retained as thin wrappers over a cursor.
 #pragma once
 
 #include <cstdint>
@@ -56,6 +63,76 @@ class BTree {
 
   BTree(Pager& pager, PageId root) : pager_(pager), root_(root) {}
 
+  // Forward iterator over the tree's entries in key order.
+  //
+  //   BTree::Cursor cur = tree.NewCursor();
+  //   for (cur.Seek(lo); cur.Valid(); cur.Next()) {
+  //     ... cur.key() / cur.value() ...
+  //   }
+  //   BP_RETURN_IF_ERROR(cur.status());
+  //
+  // A storage error invalidates the cursor and is held in status(), so
+  // loops stay branch-free; callers check status() once after the loop.
+  // Writes interleaved with iteration (to any tree of the same pager,
+  // including deleting the entry the cursor is on) are safe: the cursor
+  // detects them via the pager change counter and re-seeks to the first
+  // key greater than the last one returned.
+  class Cursor {
+   public:
+    Cursor() = default;  // unpositioned; !Valid() until a Seek
+
+    // Positions at the first entry with key >= `target` (empty target =
+    // first entry). Clears any previous error and bounds.
+    void Seek(std::string_view target);
+    void SeekFirst() { Seek({}); }
+    // Seek(prefix), then constrain iteration to keys starting with
+    // `prefix`: the cursor reports !Valid() at the first key past it.
+    void SeekPrefix(std::string_view prefix);
+    // Seek(lo), then constrain iteration to keys < `hi` (empty hi = to
+    // the end). Bounds are checked before the value is materialized, so
+    // an out-of-range entry never costs an overflow-chain read.
+    void SeekRange(std::string_view lo, std::string_view hi);
+
+    void Next();
+    bool Valid() const { return valid_; }
+
+    // Current entry; Valid() must be true. The views point at cursor-owned
+    // storage and survive tree mutation, but not the next Seek*/Next.
+    std::string_view key() const { return key_; }
+    std::string_view value() const { return value_; }
+
+    // Ok while iterating or exhausted; the first storage error otherwise.
+    const util::Status& status() const { return status_; }
+
+    // Leaf cells decoded so far (feeds QueryStats::rows_scanned).
+    uint64_t rows_scanned() const { return rows_scanned_; }
+
+   private:
+    friend class BTree;
+    explicit Cursor(const BTree* tree) : tree_(tree) {}
+
+    void SeekInternal(std::string_view target, bool exclusive);
+    // Loads the cell at (leaf_, pos_), walking forward across leaves if
+    // pos_ is off the end; invalidates at the end of the tree or when the
+    // key leaves the prefix bound.
+    void LoadOrAdvance();
+    void Fail(util::Status status);
+
+    const BTree* tree_ = nullptr;
+    PageId leaf_ = kNoPage;
+    uint32_t pos_ = 0;
+    uint64_t change_stamp_ = 0;
+    std::string key_;
+    std::string value_;
+    std::string bound_prefix_;  // empty = unbounded
+    std::string bound_hi_;      // empty = unbounded; exclusive
+    bool valid_ = false;
+    util::Status status_;
+    uint64_t rows_scanned_ = 0;
+  };
+
+  Cursor NewCursor() const { return Cursor(this); }
+
   // Inserts or replaces. Key must be non-empty and <= kMaxKeySize.
   util::Status Put(std::string_view key, std::string_view value);
 
@@ -72,21 +149,31 @@ class BTree {
   util::Status FreeAllPages();
 
   // Full scan in key order. `fn` returns false to stop early.
+  // DEPRECATED: thin wrapper over Cursor; new code should use NewCursor.
   util::Status ForEach(
       const std::function<bool(std::string_view key,
                                std::string_view value)>& fn) const;
 
   // Scan all entries whose key starts with `prefix`, in key order.
+  // DEPRECATED: thin wrapper over Cursor; new code should use NewCursor.
   util::Status ForEachPrefix(
       std::string_view prefix,
       const std::function<bool(std::string_view key,
                                std::string_view value)>& fn) const;
 
   // Scan keys in [lo, hi). Empty `hi` means "to the end".
+  // DEPRECATED: thin wrapper over Cursor; new code should use NewCursor.
   util::Status ForEachRange(
       std::string_view lo, std::string_view hi,
       const std::function<bool(std::string_view key,
                                std::string_view value)>& fn) const;
+
+  // Number of keys in [lo, hi) (empty `hi` = to the end). Counts whole
+  // leaves by their cell count and binary-searches only the boundary
+  // leaves, so it never decodes interior rows — this is what makes
+  // GraphStore::Degree O(leaves) instead of O(edges decoded).
+  util::Result<uint64_t> CountRange(std::string_view lo,
+                                    std::string_view hi) const;
 
   util::Result<uint64_t> Count() const;
   util::Result<TreeStats> Stats() const;

@@ -487,6 +487,7 @@ Status Pager::Rollback() {
   before_images_.clear();
   fresh_pages_.clear();
   in_txn_ = false;
+  ++change_count_;
   ++stats_.rollbacks;
   return Status::Ok();
 }
@@ -536,6 +537,7 @@ Result<PageRef> Pager::GetMutable(PageId id) {
   BP_ASSIGN_OR_RETURN(internal::Frame * frame, FetchFrame(id));
   JournalBeforeImage(*frame);
   frame->dirty = true;
+  ++change_count_;
   return PageRef(this, frame, /*writable=*/true);
 }
 

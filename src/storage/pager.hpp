@@ -172,6 +172,12 @@ class Pager {
 
   const PagerStats& stats() const { return stats_; }
 
+  // Monotone counter bumped by every page mutation (GetMutable) and by
+  // Rollback. Open cursors snapshot it to detect interleaved writes: an
+  // unchanged counter guarantees their (page, slot) position is still
+  // exact; a changed one makes them re-seek by key.
+  uint64_t change_count() const { return change_count_; }
+
   // Total bytes the database file occupies (page_count * kPageSize).
   uint64_t FileBytes() const {
     return static_cast<uint64_t>(page_count_) * kPageSize;
@@ -225,6 +231,7 @@ class Pager {
 
   std::unordered_map<PageId, std::unique_ptr<internal::Frame>> frames_;
   uint64_t lru_clock_ = 0;
+  uint64_t change_count_ = 0;
 
   // Cached header fields (persisted in page 0).
   uint32_t page_count_ = 0;

@@ -15,6 +15,7 @@
 // composite keys should use OrderedKeyU64Pair on a raw BTree instead).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -85,8 +86,59 @@ class Table {
     return tree_->Contains(util::OrderedKeyU64(id));
   }
 
+  // Forward iterator over rows in id order, skipping the allocator cell.
+  // Decode is lazy: row() parses the encoded bytes only when called, so
+  // scans that filter on id alone never pay it.
+  //
+  //   for (auto cur = table.Scan(); cur.Valid(); cur.Next()) { ... }
+  //   BP_RETURN_IF_ERROR(cur.status());
+  class Cursor {
+   public:
+    Cursor() = default;
+
+    // Positions at the first row with id >= `min_id`.
+    void Seek(uint64_t min_id) {
+      inner_.Seek(util::OrderedKeyU64(std::max<uint64_t>(min_id, 1)));
+      SkipMeta();
+    }
+
+    void Next() {
+      inner_.Next();
+      SkipMeta();
+    }
+    bool Valid() const { return inner_.Valid(); }
+    const util::Status& status() const { return inner_.status(); }
+    uint64_t rows_scanned() const { return inner_.rows_scanned(); }
+
+    uint64_t id() const { return util::DecodeOrderedKeyU64(inner_.key()); }
+    std::string_view raw() const { return inner_.value(); }
+    util::Result<Row> row() const {
+      util::Reader r(inner_.value());
+      BP_ASSIGN_OR_RETURN(Row row, RowCodec<Row>::Decode(r));
+      BP_RETURN_IF_ERROR(r.Finish());
+      return row;
+    }
+
+   private:
+    friend class Table;
+    explicit Cursor(BTree::Cursor inner) : inner_(std::move(inner)) {}
+    void SkipMeta() {
+      while (inner_.Valid() && inner_.key() == internal::kMetaKey) {
+        inner_.Next();
+      }
+    }
+    BTree::Cursor inner_;
+  };
+
+  // Cursor over rows with id >= `min_id` (default: all rows).
+  Cursor Scan(uint64_t min_id = 1) const {
+    Cursor cur(tree_->NewCursor());
+    cur.Seek(min_id);
+    return cur;
+  }
+
   // In-order scan; `fn` returns false to stop. Decode failures abort the
-  // scan with Corruption.
+  // scan with Corruption. DEPRECATED: thin wrapper over Scan().
   util::Status ForEach(
       const std::function<bool(uint64_t id, const Row& row)>& fn) const {
     util::Status decode_status;
@@ -133,6 +185,19 @@ class Index {
 
   util::Status Remove(std::string_view key, uint64_t row_id) {
     return tree_->Delete(Entry(key, row_id));
+  }
+
+  // Smallest row id mapped to exactly `key`, or 0 when the key is absent
+  // (row ids start at 1). The point-lookup path for unique indexes.
+  util::Result<uint64_t> FirstEqual(std::string_view key) const {
+    std::string prefix(key);
+    prefix.push_back('\0');
+    BTree::Cursor cur = tree_->NewCursor();
+    cur.SeekPrefix(prefix);
+    BP_RETURN_IF_ERROR(cur.status());
+    if (!cur.Valid()) return uint64_t{0};
+    return util::DecodeOrderedKeyU64(
+        cur.key().substr(cur.key().size() - 8));
   }
 
   // Row ids for exactly `key`, ascending.

@@ -28,6 +28,98 @@ using capture::VisitEvent;
 using storage::DbOptions;
 using storage::MemEnv;
 
+// ------------------------------------------------------------------ bus
+
+// Sinks for the delivery-semantics tests: one counts, one fails on
+// command.
+class CountingSink : public capture::EventSink {
+ public:
+  util::Status OnEvent(const BrowserEvent&) override {
+    ++events_seen;
+    return util::Status::Ok();
+  }
+  int events_seen = 0;
+};
+
+class FailingSink : public capture::EventSink {
+ public:
+  util::Status OnEvent(const BrowserEvent&) override {
+    ++events_seen;
+    if (fail) return util::Status::IoError("sink failure");
+    return util::Status::Ok();
+  }
+  bool fail = false;
+  int events_seen = 0;
+};
+
+TEST(EventBusTest, PublishDeliversToAllSinksDespiteFailure) {
+  // A mid-stream sink failure must not starve the sinks after it — the
+  // storage-overhead experiment's "same stream" invariant depends on
+  // every sink seeing every event.
+  CountingSink before;
+  FailingSink failing;
+  CountingSink after;
+  EventBus bus;
+  bus.Subscribe(&before);
+  bus.Subscribe(&failing);
+  bus.Subscribe(&after);
+
+  sim::ScenarioBuilder b;
+  b.Visit(1, "http://a", "A", NavigationAction::kTyped);
+  b.Visit(1, "http://b", "B", NavigationAction::kTyped);
+  const std::vector<BrowserEvent>& events = b.events();
+
+  failing.fail = true;
+  util::Status status = bus.Publish(events[0]);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("sink failure"), std::string::npos);
+  // Every sink — including the one after the failure — saw the event.
+  EXPECT_EQ(before.events_seen, 1);
+  EXPECT_EQ(failing.events_seen, 1);
+  EXPECT_EQ(after.events_seen, 1);
+
+  // Recovered sink: the stream continues in lockstep.
+  failing.fail = false;
+  ASSERT_TRUE(bus.Publish(events[1]).ok());
+  EXPECT_EQ(before.events_seen, 2);
+  EXPECT_EQ(after.events_seen, 2);
+}
+
+TEST(EventBusTest, PublishReturnsFirstErrorOfSeveral) {
+  FailingSink first;
+  FailingSink second;
+  EventBus bus;
+  bus.Subscribe(&first);
+  bus.Subscribe(&second);
+  first.fail = true;
+  second.fail = true;
+
+  sim::ScenarioBuilder b;
+  b.Visit(1, "http://a", "A", NavigationAction::kTyped);
+  util::Status status = bus.Publish(b.events()[0]);
+  EXPECT_FALSE(status.ok());
+  // Both sinks ran even though both failed.
+  EXPECT_EQ(first.events_seen, 1);
+  EXPECT_EQ(second.events_seen, 1);
+}
+
+TEST(EventBusTest, PublishAllStopsAfterFailedEventButFansItOut) {
+  FailingSink failing;
+  CountingSink after;
+  EventBus bus;
+  bus.Subscribe(&failing);
+  bus.Subscribe(&after);
+  failing.fail = true;
+
+  sim::ScenarioBuilder b;
+  b.Visit(1, "http://a", "A", NavigationAction::kTyped);
+  b.Visit(1, "http://b", "B", NavigationAction::kTyped);
+  EXPECT_FALSE(bus.PublishAll(b.events()).ok());
+  // The failed event was fully fanned out; the next event never started.
+  EXPECT_EQ(failing.events_seen, 1);
+  EXPECT_EQ(after.events_seen, 1);
+}
+
 // ------------------------------------------------------------ recorders
 
 class RecorderTest : public ::testing::Test {

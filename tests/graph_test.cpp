@@ -351,7 +351,7 @@ TEST_F(AlgoTest, EdgeFilterPrunes) {
   MustAddEdge(a, b, /*kind=*/1);
   MustAddEdge(a, c, /*kind=*/2);
   TraversalOptions options;
-  options.edge_filter = [](const Edge& e) { return e.kind == 1; };
+  options.edge_filter = [](const EdgeRef& e) { return e.kind() == 1; };
   auto result = Bfs(*store_, a, options);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->visits.size(), 2u);
@@ -440,23 +440,28 @@ TEST_F(AlgoTest, BuildNeighborhoodMaxNodesTruncates) {
 
 TEST_F(AlgoTest, ExpandWithDecayWeightsByDistance) {
   BuildLineage();
-  auto weights = ExpandWithDecay(*store_, {{search_, 1.0}}, 2, 0.5);
-  ASSERT_TRUE(weights.ok());
-  EXPECT_DOUBLE_EQ(weights->at(search_), 1.0);
-  EXPECT_DOUBLE_EQ(weights->at(page1_), 0.5);
-  EXPECT_DOUBLE_EQ(weights->at(page2_), 0.25);
-  EXPECT_DOUBLE_EQ(weights->at(side_), 0.25);
-  EXPECT_EQ(weights->count(download_), 0u);  // 3 hops > max_depth 2
-  EXPECT_EQ(weights->count(orphan_), 0u);
+  auto expansion = ExpandWithDecay(*store_, {{search_, 1.0}}, 2, 0.5);
+  ASSERT_TRUE(expansion.ok());
+  const auto& weights = expansion->weights;
+  EXPECT_DOUBLE_EQ(weights.at(search_), 1.0);
+  EXPECT_DOUBLE_EQ(weights.at(page1_), 0.5);
+  EXPECT_DOUBLE_EQ(weights.at(page2_), 0.25);
+  EXPECT_DOUBLE_EQ(weights.at(side_), 0.25);
+  EXPECT_EQ(weights.count(download_), 0u);  // 3 hops > max_depth 2
+  EXPECT_EQ(weights.count(orphan_), 0u);
+  // The expansion reports the work it did.
+  EXPECT_GT(expansion->stats.nodes_visited, 0u);
+  EXPECT_GT(expansion->stats.edges_expanded, 0u);
+  EXPECT_GT(expansion->stats.rows_scanned, 0u);
 }
 
 TEST_F(AlgoTest, ExpandWithDecayAccumulatesMultipleSeeds) {
   BuildLineage();
-  auto weights =
+  auto expansion =
       ExpandWithDecay(*store_, {{page2_, 1.0}, {side_, 1.0}}, 1, 0.5);
-  ASSERT_TRUE(weights.ok());
+  ASSERT_TRUE(expansion.ok());
   // page1 is one hop from both seeds: 0.5 + 0.5.
-  EXPECT_DOUBLE_EQ(weights->at(page1_), 1.0);
+  EXPECT_DOUBLE_EQ(expansion->weights.at(page1_), 1.0);
 }
 
 // ---------------------------------------------------------- iterative
@@ -537,7 +542,7 @@ TEST_F(AlgoTest, IsAcyclicOnDagAndCycle) {
 TEST_F(AlgoTest, IsAcyclicWithFilterIgnoresFilteredEdges) {
   BuildLineage();
   MustAddEdge(download_, search_, /*kind=*/99);
-  EdgeFilter ignore99 = [](const Edge& e) { return e.kind != 99; };
+  EdgeFilter ignore99 = [](const EdgeRef& e) { return e.kind() != 99; };
   auto acyclic = IsAcyclic(*store_, ignore99);
   ASSERT_TRUE(acyclic.ok());
   EXPECT_TRUE(*acyclic);

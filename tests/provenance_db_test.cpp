@@ -1,0 +1,141 @@
+// ProvenanceDb facade: one Open stands up the whole stack, ingestion
+// flows through the owned bus, every query works and reports its
+// QueryStats, and extra sinks ride the same stream.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "places/places.hpp"
+#include "prov/provenance_db.hpp"
+#include "sim/scenario.hpp"
+#include "storage/env.hpp"
+
+namespace bp::prov {
+namespace {
+
+class ProvenanceDbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ProvenanceDb::Options options;
+    options.db.env = &env_;
+    auto db = ProvenanceDb::Open("facade.db", options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(*db);
+  }
+
+  // The quickstart session: search -> results -> film page -> archive ->
+  // download.
+  uint64_t IngestRosebudSession() {
+    sim::ScenarioBuilder s;
+    uint64_t search = s.Search(1, "rosebud");
+    s.Wait(util::Seconds(1));
+    uint64_t results =
+        s.Visit(1, "https://search.example/results?q=rosebud",
+                "rosebud - search results",
+                capture::NavigationAction::kSearchResult, 0, search);
+    s.Wait(util::Seconds(5));
+    uint64_t kane = s.Visit(1, "http://films.example/citizen-kane",
+                            "citizen kane 1941 film",
+                            capture::NavigationAction::kLink, results);
+    s.Wait(util::Seconds(5));
+    uint64_t dl = s.Download("http://films.example/kane-script.pdf",
+                             "/downloads/kane-script.pdf", kane);
+    EXPECT_TRUE(db_->IngestAll(s.events()).ok());
+    return dl;
+  }
+
+  storage::MemEnv env_;
+  std::unique_ptr<ProvenanceDb> db_;
+};
+
+TEST_F(ProvenanceDbTest, SearchAfterIngestSeesNewPagesAndReportsStats) {
+  IngestRosebudSession();
+  // No explicit IndexNewPages call: the facade refreshes lazily.
+  auto hits = db_->Search("rosebud");
+  ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+  ASSERT_FALSE(hits->pages.empty());
+  bool found_kane = false;
+  for (const auto& page : hits->pages) {
+    if (page.url == "http://films.example/citizen-kane") found_kane = true;
+  }
+  EXPECT_TRUE(found_kane)
+      << "contextual search must reach the page the term never names";
+  EXPECT_GT(hits->stats.rows_scanned, 0u);
+  EXPECT_GT(hits->stats.edges_expanded, 0u);
+
+  // With a budget attached, the stats report what the query charged.
+  util::QueryBudget budget = util::QueryBudget::WithNodeCap(1000000);
+  search::ContextualSearchOptions options;
+  options.budget = &budget;
+  auto budgeted = db_->Search("rosebud", options);
+  ASSERT_TRUE(budgeted.ok());
+  EXPECT_GT(budgeted->stats.budget_used, 0u);
+  EXPECT_EQ(budgeted->stats.budget_used, budget.used());
+}
+
+TEST_F(ProvenanceDbTest, TraceDownloadThroughFacade) {
+  uint64_t dl = IngestRosebudSession();
+  search::LineageOptions options;
+  options.min_visit_count = 1;
+  auto report =
+      db_->TraceDownload(db_->recorder().download_map().at(dl), options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->found_recognizable);
+  EXPECT_GT(report->stats.rows_scanned, 0u);
+}
+
+TEST_F(ProvenanceDbTest, DescendantDownloadsAndTimeContext) {
+  IngestRosebudSession();
+  auto descendants =
+      db_->DescendantDownloads("https://search.example/results?q=rosebud");
+  ASSERT_TRUE(descendants.ok());
+  ASSERT_EQ(descendants->downloads.size(), 1u);
+  EXPECT_EQ(descendants->downloads[0].target_path,
+            "/downloads/kane-script.pdf");
+  EXPECT_GT(descendants->stats.nodes_visited, 0u);
+
+  auto tc = db_->TimeContext("citizen kane", "rosebud");
+  ASSERT_TRUE(tc.ok());
+  EXPECT_GT(tc->stats.rows_scanned, 0u);
+
+  auto personalized = db_->Personalize("rosebud");
+  ASSERT_TRUE(personalized.ok());
+  EXPECT_GT(personalized->stats.rows_scanned, 0u);
+}
+
+TEST_F(ProvenanceDbTest, BatchRollsBackWithoutCommit) {
+  sim::ScenarioBuilder s;
+  s.Visit(1, "http://a.example/", "A", capture::NavigationAction::kTyped);
+  {
+    ProvenanceDb::Batch batch(*db_);
+    ASSERT_TRUE(db_->Ingest(s.events()[0]).ok());
+    // No Commit: destruction rolls the batch back.
+  }
+  EXPECT_TRUE(db_->store().PageForUrl("http://a.example/")
+                  .status()
+                  .IsNotFound());
+
+  {
+    ProvenanceDb::Batch batch(*db_);
+    ASSERT_TRUE(db_->Ingest(s.events()[0]).ok());
+    ASSERT_TRUE(batch.Commit().ok());
+  }
+  EXPECT_TRUE(db_->store().PageForUrl("http://a.example/").ok());
+}
+
+TEST_F(ProvenanceDbTest, ExtraSinksRideTheSameStream) {
+  // The Places baseline subscribes to the facade's bus and sees exactly
+  // the ingested stream — the setup of the storage-overhead experiment.
+  auto places = places::PlacesStore::Open(db_->db());
+  ASSERT_TRUE(places.ok());
+  capture::PlacesRecorder baseline(**places);
+  db_->bus().Subscribe(&baseline);
+
+  IngestRosebudSession();
+  // Both page visits reached both recorders.
+  EXPECT_EQ(baseline.visit_map().size(), 2u);
+  EXPECT_EQ(db_->recorder().visit_map().size(), 2u);
+}
+
+}  // namespace
+}  // namespace bp::prov

@@ -226,13 +226,15 @@ TEST_F(UseCaseTest, DescendantDownloadsOfUntrustedPage) {
   sim::MalwareScenario scenario = sim::MakeMalwareScenario();
   Ingest(scenario.events);
 
-  auto downloads = DescendantDownloads(*store_, scenario.untrusted_url);
-  ASSERT_TRUE(downloads.ok());
+  auto report = DescendantDownloads(*store_, scenario.untrusted_url);
+  ASSERT_TRUE(report.ok());
   // Both the codec installer AND the later bonus pack descend from the
   // untrusted page.
-  ASSERT_EQ(downloads->size(), 2u);
+  ASSERT_EQ(report->downloads.size(), 2u);
+  EXPECT_GT(report->stats.rows_scanned, 0u);
+  EXPECT_GT(report->stats.nodes_visited, 0u);
   std::vector<std::string> targets;
-  for (const auto& d : *downloads) targets.push_back(d.target_path);
+  for (const auto& d : report->downloads) targets.push_back(d.target_path);
   std::sort(targets.begin(), targets.end());
   EXPECT_EQ(targets[0], "/home/user/Downloads/bonus-pack.exe");
   EXPECT_EQ(targets[1], scenario.download_target);
