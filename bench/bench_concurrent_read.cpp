@@ -1,0 +1,200 @@
+// E12 — Concurrent snapshot readers against a live capture stream.
+//
+// The paper pitches provenance as a browser-wide service: capture keeps
+// writing while history search and forensics read. The old engine was
+// strictly single-threaded, so every query waited behind the in-flight
+// capture batch (and stalled the next one). This bench measures what
+// the snapshot read path buys:
+//
+//   serialized baseline — one thread alternates one 1024-event capture
+//   batch with one contextual search (the single-threaded engine's
+//   admission pattern under sustained capture: a query waits for the
+//   batch, the next batch waits for the query);
+//
+//   concurrent — a dedicated writer thread ingests the same batches
+//   continuously while N reader threads run contextual searches against
+//   snapshot views (each reader refreshes its view every 16 queries).
+//
+// Reported: aggregate read throughput at 1/2/4/8 readers vs. the
+// baseline, plus the writer's event throughput in each mode. Target
+// (>= 4 cores): >= 2x aggregate read throughput at 4 readers. Even on
+// one core the concurrent engine wins, because reads no longer spend
+// most of their wall clock waiting behind capture batches.
+#include <atomic>
+#include <cmath>
+#include <chrono>
+#include <thread>
+
+#include "bench/common.hpp"
+#include "prov/provenance_db.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bp;
+  using namespace bp::bench;
+  Init(argc, argv, "bench_concurrent_read");
+
+  Header("E12", "concurrent snapshot readers with a live writer",
+         "query load runs against a live capture stream (sections 2, 5)");
+
+  // ------------------------------------------------------------ fixture
+  const uint32_t days = State().smoke ? 2 : 40;
+  util::Rng rng(2009);
+  sim::Vocabulary vocab = sim::Vocabulary::Create(rng, {});
+  sim::WebGraph web = sim::WebGraph::Generate(rng, {}, vocab);
+  sim::UserConfig user;
+  user.seed = 2010;
+  user.days = days;
+  sim::SimOutput out = sim::BrowserSim(web, user).Run();
+  // A second simulated stream feeds the live writer during measurement.
+  sim::UserConfig reserve_user;
+  reserve_user.seed = 2110;
+  reserve_user.days = days;
+  sim::SimOutput reserve = sim::BrowserSim(web, reserve_user).Run();
+
+  storage::MemEnv env;
+  prov::ProvenanceDb::Options options;
+  options.db.env = &env;
+  options.db.sync = false;  // measuring CPU/concurrency, not fsync
+  auto db = MustOk(prov::ProvenanceDb::Open("concurrent.db", options),
+                   "open facade");
+  MustOk(db->IngestAll(out.events), "base ingest");
+  Row("history: %zu base events over %u days, %zu reserve events",
+      out.events.size(), days, reserve.events.size());
+
+  std::vector<std::string> queries;
+  for (const auto& episode : out.searches) {
+    queries.push_back(episode.query);
+    if (queries.size() >= 32) break;
+  }
+  if (queries.empty()) queries.push_back("page");
+  MustOk(db->Search(queries[0]).status(), "warm-up query");
+
+  constexpr size_t kBatchEvents = 1024;
+  constexpr int kViewRefresh = 16;  // queries per snapshot view
+  const double measure_ms = State().smoke ? 500 : 2000;
+  // The fixture runs sync=false (CPU is what's measured), so each batch
+  // models the group-commit fsync the capture path pays on real
+  // hardware as device time: the committing thread blocks ~2 ms, in
+  // BOTH modes. The serialized engine's queued query waits that out;
+  // snapshot readers keep running through it — which is half the point.
+  constexpr auto kModeledSync = std::chrono::milliseconds(2);
+
+  size_t reserve_pos = 0;  // writer-only cursor over the reserve stream
+  auto ingest_batch = [&] {
+    {
+      prov::ProvenanceDb::Batch batch(*db);
+      for (size_t i = 0; i < kBatchEvents; ++i) {
+        MustOk(db->Ingest(reserve.events[reserve_pos]), "live ingest");
+        reserve_pos = (reserve_pos + 1) % reserve.events.size();
+      }
+      MustOk(batch.Commit(), "live commit");
+    }
+    std::this_thread::sleep_for(kModeledSync);
+  };
+
+  // ------------------------------------------------- serialized baseline
+  //
+  // Every phase keeps ingesting, so the history grows throughout the
+  // run and later phases answer queries over a larger graph. The
+  // baseline is therefore measured twice — before and after the
+  // concurrent phases — and drift-corrected with the geometric mean, so
+  // neither side benefits from running on the smallest database.
+  auto measure_serialized = [&](const char* label) {
+    uint64_t reads = 0, batches = 0;
+    util::Stopwatch watch;
+    while (watch.ElapsedMs() < measure_ms) {
+      ingest_batch();
+      ++batches;
+      MustOk(db->Search(queries[reads % queries.size()]).status(),
+             "baseline query");
+      ++reads;
+    }
+    const double s = watch.ElapsedMs() / 1000.0;
+    const double qps = static_cast<double>(reads) / s;
+    Row("serialized baseline (%s): %7.1f reads/s  %9.0f events/s "
+        "(reads wait behind capture batches)",
+        label, qps, static_cast<double>(batches) * kBatchEvents / s);
+    return qps;
+  };
+  const double baseline_first = measure_serialized("pre ");
+
+  // --------------------------------------------------- concurrent modes
+  double qps_at_4 = 0;
+  std::vector<std::pair<int, double>> qps_by_readers;
+  for (int readers : {1, 2, 4, 8}) {
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> reads{0};
+    std::atomic<uint64_t> read_errors{0};
+
+    std::vector<std::thread> pool;
+    pool.reserve(readers);
+    for (int r = 0; r < readers; ++r) {
+      pool.emplace_back([&, r] {
+        uint64_t local = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+          auto view = db->BeginSnapshot();
+          if (!view.ok()) {
+            read_errors.fetch_add(1);
+            return;
+          }
+          for (int q = 0; q < kViewRefresh &&
+                          !stop.load(std::memory_order_acquire);
+               ++q) {
+            auto hits =
+                view->Search(queries[(r + local) % queries.size()]);
+            if (!hits.ok()) {
+              read_errors.fetch_add(1);
+              return;
+            }
+            ++local;
+            reads.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+
+    uint64_t batches = 0;
+    util::Stopwatch watch;
+    while (watch.ElapsedMs() < measure_ms) {
+      // Readers slip their (brief) snapshot refresh in between batches
+      // and during the modeled sync; the queries themselves never take
+      // the writer lock.
+      ingest_batch();
+      ++batches;
+    }
+    stop.store(true, std::memory_order_release);
+    for (std::thread& t : pool) t.join();
+    const double s = watch.ElapsedMs() / 1000.0;
+    BP_CHECK(read_errors.load() == 0, "reader queries failed");
+
+    const double qps = static_cast<double>(reads.load()) / s;
+    const double eps = static_cast<double>(batches) * kBatchEvents / s;
+    if (readers == 4) qps_at_4 = qps;
+    qps_by_readers.emplace_back(readers, qps);
+    Row("%d reader thread%s:          %7.1f reads/s  %9.0f events/s",
+        readers, readers == 1 ? " " : "s", qps, eps);
+    Metric(util::StrFormat("qps_threads_%d", readers), qps);
+    Metric(util::StrFormat("writer_events_per_sec_%d", readers), eps);
+  }
+
+  const double baseline_last = measure_serialized("post");
+  const double baseline_qps = std::sqrt(baseline_first * baseline_last);
+  Metric("baseline_serialized_qps_pre", baseline_first);
+  Metric("baseline_serialized_qps_post", baseline_last);
+  Metric("baseline_serialized_qps", baseline_qps);
+
+  Blank();
+  Row("drift-corrected serialized baseline: %.1f reads/s "
+      "(geomean of pre/post)", baseline_qps);
+  for (const auto& [readers, qps] : qps_by_readers) {
+    Row("  %d reader%s: %.2fx baseline read throughput", readers,
+        readers == 1 ? " " : "s", baseline_qps > 0 ? qps / baseline_qps : 0);
+  }
+  const double speedup = baseline_qps > 0 ? qps_at_4 / baseline_qps : 0;
+  Metric("speedup_4_readers", speedup);
+  Blank();
+  Row("aggregate read throughput at 4 readers: %.2fx the serialized "
+      "baseline (target on >= 4 cores: >= 2x)",
+      speedup);
+  return Finish();
+}

@@ -13,6 +13,13 @@
 // Work accounting: every cursor bumps a QueryStats (shared by all the
 // use-case queries) so each query result reports how much of the store
 // it touched.
+//
+// Snapshot reads: these cursors take whatever BTree handles they are
+// given. Handed the live trees (GraphStore::Edges/Nodes on the live
+// store) they read the pager's current state; handed snapshot-bound
+// trees (GraphStore::AtSnapshot) every page they touch resolves through
+// the storage::Snapshot — same cursor code, frozen view, safe on reader
+// threads while the writer commits.
 #pragma once
 
 #include <cstdint>

@@ -65,7 +65,17 @@ Result<std::unique_ptr<GraphStore>> GraphStore::Open(storage::Db& db,
   return store;
 }
 
+GraphStore GraphStore::AtSnapshot(const storage::Snapshot& snap) const {
+  GraphStore view(db_, ns_);
+  view.nodes_tree_ = view.bound_trees_.Bind(snap, nodes_tree_);
+  view.edges_tree_ = view.bound_trees_.Bind(snap, edges_tree_);
+  view.out_tree_ = view.bound_trees_.Bind(snap, out_tree_);
+  view.in_tree_ = view.bound_trees_.Bind(snap, in_tree_);
+  return view;
+}
+
 Result<NodeId> GraphStore::AddNode(uint32_t kind, AttrMap attrs) {
+  BP_REQUIRE(!snapshot_bound(), "AddNode on a snapshot-bound graph");
   Table<NodeRec> nodes(nodes_tree_);
   return nodes.Insert(NodeRec{kind, std::move(attrs)});
 }
@@ -77,6 +87,7 @@ Result<Node> GraphStore::GetNode(NodeId id) const {
 }
 
 Status GraphStore::PutNode(const Node& node) {
+  BP_REQUIRE(!snapshot_bound(), "PutNode on a snapshot-bound graph");
   Table<NodeRec> nodes(nodes_tree_);
   BP_ASSIGN_OR_RETURN(bool exists, nodes.Contains(node.id));
   if (!exists) {
@@ -92,6 +103,7 @@ Result<bool> GraphStore::HasNode(NodeId id) const {
 
 Result<EdgeId> GraphStore::AddEdge(NodeId src, NodeId dst, uint32_t kind,
                                    AttrMap attrs) {
+  BP_REQUIRE(!snapshot_bound(), "AddEdge on a snapshot-bound graph");
   BP_ASSIGN_OR_RETURN(bool has_src, HasNode(src));
   BP_ASSIGN_OR_RETURN(bool has_dst, HasNode(dst));
   if (!has_src || !has_dst) {
@@ -114,6 +126,7 @@ Result<Edge> GraphStore::GetEdge(EdgeId id) const {
 }
 
 Status GraphStore::PutEdge(const Edge& edge) {
+  BP_REQUIRE(!snapshot_bound(), "PutEdge on a snapshot-bound graph");
   Table<EdgeRec> edges(edges_tree_);
   BP_ASSIGN_OR_RETURN(EdgeRec old, edges.Get(edge.id));
   BP_REQUIRE(old.src == edge.src && old.dst == edge.dst,
@@ -123,6 +136,7 @@ Status GraphStore::PutEdge(const Edge& edge) {
 }
 
 Status GraphStore::DeleteEdge(EdgeId id) {
+  BP_REQUIRE(!snapshot_bound(), "DeleteEdge on a snapshot-bound graph");
   Table<EdgeRec> edges(edges_tree_);
   BP_ASSIGN_OR_RETURN(EdgeRec rec, edges.Get(id));
   AutoTxn txn(db_.pager());

@@ -17,6 +17,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "graph/attr.hpp"
 #include "graph/cursor.hpp"
@@ -32,6 +33,15 @@ class GraphStore {
   // must outlive the store.
   static util::Result<std::unique_ptr<GraphStore>> Open(storage::Db& db,
                                                         std::string ns);
+
+  // A read-only handle on the SAME graph whose every read (cursors,
+  // point lookups, Degree, counts) resolves through `snap` — the
+  // snapshot-isolated query path. Safe to use from a reader thread
+  // while this (live) store keeps ingesting; mutations on the returned
+  // store are contract violations. `snap` and this store must outlive
+  // the returned handle and every cursor obtained from it.
+  GraphStore AtSnapshot(const storage::Snapshot& snap) const;
+  bool snapshot_bound() const { return bound_trees_.bound(); }
 
   util::Result<NodeId> AddNode(uint32_t kind, AttrMap attrs = {});
   util::Result<Node> GetNode(NodeId id) const;
@@ -107,6 +117,9 @@ class GraphStore {
   storage::BTree* edges_tree_ = nullptr;
   storage::BTree* out_tree_ = nullptr;
   storage::BTree* in_tree_ = nullptr;
+  // Snapshot-bound handles (AtSnapshot): the tree pointers above point
+  // into this owned storage instead of the Db's live handles.
+  storage::BoundTrees bound_trees_;
 };
 
 }  // namespace bp::graph

@@ -61,6 +61,24 @@ Result<std::unique_ptr<ProvStore>> ProvStore::Open(storage::Db& db,
   return store;
 }
 
+std::unique_ptr<ProvStore> ProvStore::AtSnapshot(
+    const storage::Snapshot& snap) const {
+  std::unique_ptr<ProvStore> view(new ProvStore(db_, options_));
+  view->graph_ =
+      std::make_unique<graph::GraphStore>(graph_->AtSnapshot(snap));
+  view->url_index_ = view->bound_trees_.Bind(snap, url_index_);
+  view->term_index_ = view->bound_trees_.Bind(snap, term_index_);
+  // A still-valid live interval cache equals the committed state the
+  // snapshot froze (ingestion invalidates it, and mid-transaction
+  // callers may have uncommitted visits the cache must not leak into),
+  // so adopt it instead of re-scanning every visit node per view.
+  if (interval_cache_valid_ && !db_.pager().InTransaction()) {
+    view->interval_cache_ = interval_cache_;
+    view->interval_cache_valid_ = true;
+  }
+  return view;
+}
+
 Result<NodeId> ProvStore::UpsertPage(std::string_view url,
                                      std::string_view title) {
   Index index(url_index_);
@@ -110,6 +128,7 @@ Result<NodeId> ProvStore::RecordVisit(std::string_view url,
                                       std::string_view title,
                                       EdgeKind action, NodeId referrer,
                                       TimeMs time, int64_t tab) {
+  BP_REQUIRE(!snapshot_bound(), "RecordVisit on a snapshot-bound store");
   BP_REQUIRE(IsNavigationEdge(action),
              "RecordVisit takes a navigation edge kind");
   interval_cache_valid_ = false;
@@ -159,6 +178,7 @@ Result<NodeId> ProvStore::RecordVisit(std::string_view url,
 }
 
 Status ProvStore::RecordClose(NodeId visit, TimeMs time) {
+  BP_REQUIRE(!snapshot_bound(), "RecordClose on a snapshot-bound store");
   if (options_.policy != VersionPolicy::kVersionNodes ||
       !options_.record_close_times) {
     return Status::Ok();
@@ -174,6 +194,7 @@ Status ProvStore::RecordClose(NodeId visit, TimeMs time) {
 
 Result<NodeId> ProvStore::RecordSearch(std::string_view query,
                                        NodeId from_visit, TimeMs time) {
+  BP_REQUIRE(!snapshot_bound(), "RecordSearch on a snapshot-bound store");
   interval_cache_valid_ = false;
   AutoTxn txn(db_.pager());
   BP_ASSIGN_OR_RETURN(NodeId term, UpsertTerm(query));
@@ -201,6 +222,7 @@ Result<NodeId> ProvStore::RecordSearch(std::string_view query,
 
 Status ProvStore::LinkSearchResult(NodeId search_issue,
                                    NodeId results_visit) {
+  BP_REQUIRE(!snapshot_bound(), "LinkSearchResult on a snapshot-bound store");
   return graph_
       ->AddEdge(search_issue, results_visit,
                 static_cast<uint32_t>(EdgeKind::kSearchResult), {})
@@ -210,6 +232,7 @@ Status ProvStore::LinkSearchResult(NodeId search_issue,
 Result<NodeId> ProvStore::RecordBookmarkAdd(std::string_view title,
                                             NodeId from_visit,
                                             TimeMs time) {
+  BP_REQUIRE(!snapshot_bound(), "RecordBookmarkAdd on a snapshot-bound store");
   AutoTxn txn(db_.pager());
   AttrMap attrs;
   attrs.SetString(kAttrTitle, std::string(title));
@@ -229,6 +252,7 @@ Result<NodeId> ProvStore::RecordBookmarkAdd(std::string_view title,
 }
 
 Status ProvStore::LinkBookmarkClick(NodeId bookmark, NodeId visit) {
+  BP_REQUIRE(!snapshot_bound(), "LinkBookmarkClick on a snapshot-bound store");
   return graph_
       ->AddEdge(bookmark, visit,
                 static_cast<uint32_t>(EdgeKind::kBookmarkClick), {})
@@ -238,6 +262,7 @@ Status ProvStore::LinkBookmarkClick(NodeId bookmark, NodeId visit) {
 Result<NodeId> ProvStore::RecordDownload(std::string_view source_url,
                                          std::string_view target_path,
                                          NodeId from_visit, TimeMs time) {
+  BP_REQUIRE(!snapshot_bound(), "RecordDownload on a snapshot-bound store");
   AutoTxn txn(db_.pager());
   AttrMap attrs;
   attrs.SetString(kAttrUrl, std::string(source_url));
@@ -259,6 +284,7 @@ Result<NodeId> ProvStore::RecordDownload(std::string_view source_url,
 
 Result<NodeId> ProvStore::RecordFormSubmit(std::string_view summary,
                                            NodeId from_visit, TimeMs time) {
+  BP_REQUIRE(!snapshot_bound(), "RecordFormSubmit on a snapshot-bound store");
   AutoTxn txn(db_.pager());
   AttrMap attrs;
   attrs.SetString(kAttrSummary, std::string(summary));
@@ -279,6 +305,7 @@ Result<NodeId> ProvStore::RecordFormSubmit(std::string_view summary,
 }
 
 Status ProvStore::LinkFormResult(NodeId form, NodeId results_visit) {
+  BP_REQUIRE(!snapshot_bound(), "LinkFormResult on a snapshot-bound store");
   return graph_
       ->AddEdge(form, results_visit,
                 static_cast<uint32_t>(EdgeKind::kFormResult), {})
@@ -349,10 +376,14 @@ Result<const graph::IntervalIndex*> ProvStore::VisitIntervals() {
       entries.push_back({span, cur.node().id()});
     }
     BP_RETURN_IF_ERROR(cur.status());
-    interval_cache_.Build(std::move(entries));
+    // Build into a fresh index and only then publish it: the published
+    // object is immutable, so AtSnapshot handles may share it.
+    auto built = std::make_shared<graph::IntervalIndex>();
+    built->Build(std::move(entries));
+    interval_cache_ = std::move(built);
     interval_cache_valid_ = true;
   }
-  return &interval_cache_;
+  return interval_cache_.get();
 }
 
 Result<bool> ProvStore::CheckInvariants() const {

@@ -51,6 +51,17 @@ class ProvStore {
   static util::Result<std::unique_ptr<ProvStore>> Open(storage::Db& db,
                                                        ProvOptions options);
 
+  // A read-only handle on the same provenance store whose every lookup
+  // — graph cursors, URL/term indexes, visit intervals — resolves
+  // through `snap`: the snapshot-isolated query path (safe on a reader
+  // thread while this live store keeps ingesting). Record*/Link* on the
+  // returned store are contract violations. The handle carries its own
+  // interval-index cache, built lazily from the snapshot and valid for
+  // the handle's whole lifetime (a frozen view never invalidates).
+  // `snap` and this store must outlive the handle.
+  std::unique_ptr<ProvStore> AtSnapshot(const storage::Snapshot& snap) const;
+  bool snapshot_bound() const { return bound_trees_.bound(); }
+
   // Groups many Record*/Link* calls into ONE storage transaction (each
   // call's own AutoTxn composes into it). Capture is bursty — a page
   // load emits several events back to back — and per-event transactions
@@ -68,6 +79,9 @@ class ProvStore {
    public:
     explicit IngestBatch(ProvStore& store) : txn_(store.db_.pager()) {}
     util::Status Commit() { return txn_.Commit(); }
+    // Whether destruction without Commit actually rolls back (false for
+    // a batch nested inside an outer transaction).
+    bool owns_transaction() const { return txn_.owns(); }
 
    private:
     storage::AutoTxn txn_;
@@ -156,8 +170,15 @@ class ProvStore {
   std::unique_ptr<graph::GraphStore> graph_;
   storage::BTree* url_index_ = nullptr;   // url -> page node
   storage::BTree* term_index_ = nullptr;  // query -> term node
+  // Snapshot-bound handles (AtSnapshot): the index pointers above point
+  // into this owned storage instead of the Db's live handles.
+  storage::BoundTrees bound_trees_;
 
-  graph::IntervalIndex interval_cache_;
+  // Lazily built visit-interval index. Shared + immutable once built,
+  // so AtSnapshot handles can adopt a still-valid live cache instead of
+  // re-scanning every visit node per view (ingestion invalidates only
+  // the live store's flag; adopters keep their reference).
+  std::shared_ptr<const graph::IntervalIndex> interval_cache_;
   bool interval_cache_valid_ = false;
 };
 

@@ -25,6 +25,7 @@ Result<std::unique_ptr<ProvenanceDb>> ProvenanceDb::Open(
 ProvenanceDb::~ProvenanceDb() = default;
 
 Status ProvenanceDb::Ingest(const capture::BrowserEvent& event) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   index_stale_ = true;
   return bus_.Publish(event);
 }
@@ -43,47 +44,209 @@ Status ProvenanceDb::IngestAll(
 }
 
 Status ProvenanceDb::RefreshIndex() {
+  if (restore_watermark_ != UINT64_MAX) {
+    // A Batch rolled back after a mid-batch query indexed its pages:
+    // rewind past the rolled-back node ids (now reusable) and re-read
+    // the reverted corpus stats before indexing anything new.
+    BP_RETURN_IF_ERROR(searcher_->RestoreIndexState(restore_watermark_));
+    restore_watermark_ = UINT64_MAX;
+  }
   if (!index_stale_) return Status::Ok();
   BP_RETURN_IF_ERROR(searcher_->IndexNewPages());
   index_stale_ = false;
   return Status::Ok();
 }
 
+Status ProvenanceDb::Sync() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return db_->pager().SyncWal();
+}
+
+Status ProvenanceDb::Checkpoint() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (db_->pager().durability() != storage::DurabilityMode::kWal) {
+    return Status::Ok();  // nothing to fold: the db file is current
+  }
+  return db_->pager().Checkpoint();
+}
+
+// ------------------------------------------------------- snapshots
+
+Result<ProvenanceDb::SnapshotView> ProvenanceDb::BeginSnapshotLocked(
+    bool with_searcher) {
+  SnapshotView view;
+  if (with_searcher) {
+    // Index first so text search over the frozen view covers everything
+    // committed so far. Graph-only callers skip this: lineage queries
+    // never touch the text index, and the header promises indexing
+    // latency is paid only by text-backed queries.
+    BP_RETURN_IF_ERROR(RefreshIndex());
+  }
+  BP_ASSIGN_OR_RETURN(view.snap_, db_->pager().BeginRead());
+  view.store_ = store_->AtSnapshot(*view.snap_);
+  if (with_searcher) {
+    BP_ASSIGN_OR_RETURN(view.searcher_,
+                        searcher_->AtSnapshot(*view.snap_, *view.store_));
+  }
+  return view;
+}
+
+Result<ProvenanceDb::SnapshotView> ProvenanceDb::BeginSnapshot() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (db_->pager().InTransaction()) {
+    // A snapshot here could not keep the "fully searchable" promise:
+    // the index refresh would compose into the open batch (uncommitted,
+    // so invisible to the snapshot), silently hiding committed pages
+    // the stale index has not covered yet. Refuse instead.
+    return Status::FailedPrecondition(
+        "BeginSnapshot inside an open Batch: take the snapshot before "
+        "the batch or after it commits");
+  }
+  return BeginSnapshotLocked(/*with_searcher=*/true);
+}
+
+// One-shot queries use a private snapshot when one is available AND
+// honest: WAL durability only (journal mode rewrites the database file
+// in place), and not inside an open Batch — a snapshot excludes the
+// batch's uncommitted events, but a caller querying mid-batch expects
+// to read their own writes, so that case stays on the serialized live
+// path (which the held lock makes safe).
+bool ProvenanceDb::UseSnapshotQueriesLocked() const {
+  return db_->pager().durability() == storage::DurabilityMode::kWal &&
+         !db_->pager().InTransaction();
+}
+
+Result<search::ContextualSearchResult> ProvenanceDb::SnapshotView::Search(
+    const std::string& query,
+    const search::ContextualSearchOptions& options) {
+  return searcher_->ContextualSearch(query, options);
+}
+
+Result<search::ContextualSearchResult>
+ProvenanceDb::SnapshotView::TextualSearch(const std::string& query,
+                                          size_t k) {
+  return searcher_->TextualSearch(query, k);
+}
+
+Result<search::PersonalizationResult> ProvenanceDb::SnapshotView::Personalize(
+    const std::string& query, const search::PersonalizeOptions& options) {
+  return search::PersonalizeQuery(*searcher_, query, options);
+}
+
+Result<search::TimeContextResult> ProvenanceDb::SnapshotView::TimeContext(
+    const std::string& primary_query, const std::string& context_query,
+    const search::TimeContextOptions& options) {
+  return search::TimeContextualSearch(*searcher_, primary_query,
+                                      context_query, options);
+}
+
+Result<search::LineageReport> ProvenanceDb::SnapshotView::TraceDownload(
+    graph::NodeId download, const search::LineageOptions& options) {
+  return search::TraceDownload(*store_, download, options);
+}
+
+Result<search::DescendantReport>
+ProvenanceDb::SnapshotView::DescendantDownloads(
+    const std::string& url, const search::LineageOptions& options) {
+  return search::DescendantDownloads(*store_, url, options);
+}
+
+graph::EdgeCursor ProvenanceDb::SnapshotView::Edges(
+    graph::NodeId node, graph::Direction dir,
+    graph::QueryStats* stats) const {
+  return store_->graph().Edges(node, dir, stats);
+}
+
+graph::EdgeCursor ProvenanceDb::SnapshotView::Edges(
+    graph::QueryStats* stats) const {
+  return store_->graph().Edges(stats);
+}
+
+graph::NodeCursor ProvenanceDb::SnapshotView::Nodes(
+    graph::NodeId min_id, graph::QueryStats* stats) const {
+  return store_->graph().Nodes(min_id, stats);
+}
+
+// --------------------------------------------------- one-shot queries
+//
+// All six dispatch through OneShot (provenance_db.hpp): under WAL
+// durability each call opens a private snapshot — the lock is held
+// only while the snapshot is created, and the query itself runs
+// against the frozen view, concurrently with ingestion and other
+// readers. Journal mode and mid-batch calls run the live path under
+// the lock — the pre-snapshot behavior.
+
 Result<search::ContextualSearchResult> ProvenanceDb::Search(
     const std::string& query,
     const search::ContextualSearchOptions& options) {
-  BP_RETURN_IF_ERROR(RefreshIndex());
-  return searcher_->ContextualSearch(query, options);
+  return OneShot(
+      /*with_searcher=*/true,
+      [&](SnapshotView& view) { return view.Search(query, options); },
+      [&]() -> Result<search::ContextualSearchResult> {
+        BP_RETURN_IF_ERROR(RefreshIndex());
+        return searcher_->ContextualSearch(query, options);
+      });
 }
 
 Result<search::ContextualSearchResult> ProvenanceDb::TextualSearch(
     const std::string& query, size_t k) {
-  BP_RETURN_IF_ERROR(RefreshIndex());
-  return searcher_->TextualSearch(query, k);
+  return OneShot(
+      /*with_searcher=*/true,
+      [&](SnapshotView& view) { return view.TextualSearch(query, k); },
+      [&]() -> Result<search::ContextualSearchResult> {
+        BP_RETURN_IF_ERROR(RefreshIndex());
+        return searcher_->TextualSearch(query, k);
+      });
 }
 
 Result<search::PersonalizationResult> ProvenanceDb::Personalize(
     const std::string& query, const search::PersonalizeOptions& options) {
-  BP_RETURN_IF_ERROR(RefreshIndex());
-  return search::PersonalizeQuery(*searcher_, query, options);
+  return OneShot(
+      /*with_searcher=*/true,
+      [&](SnapshotView& view) { return view.Personalize(query, options); },
+      [&]() -> Result<search::PersonalizationResult> {
+        BP_RETURN_IF_ERROR(RefreshIndex());
+        return search::PersonalizeQuery(*searcher_, query, options);
+      });
 }
 
 Result<search::TimeContextResult> ProvenanceDb::TimeContext(
     const std::string& primary_query, const std::string& context_query,
     const search::TimeContextOptions& options) {
-  BP_RETURN_IF_ERROR(RefreshIndex());
-  return search::TimeContextualSearch(*searcher_, primary_query,
-                                      context_query, options);
+  return OneShot(
+      /*with_searcher=*/true,
+      [&](SnapshotView& view) {
+        return view.TimeContext(primary_query, context_query, options);
+      },
+      [&]() -> Result<search::TimeContextResult> {
+        BP_RETURN_IF_ERROR(RefreshIndex());
+        return search::TimeContextualSearch(*searcher_, primary_query,
+                                            context_query, options);
+      });
 }
 
 Result<search::LineageReport> ProvenanceDb::TraceDownload(
     graph::NodeId download, const search::LineageOptions& options) {
-  return search::TraceDownload(*store_, download, options);
+  return OneShot(
+      /*with_searcher=*/false,
+      [&](SnapshotView& view) {
+        return view.TraceDownload(download, options);
+      },
+      [&]() -> Result<search::LineageReport> {
+        return search::TraceDownload(*store_, download, options);
+      });
 }
 
 Result<search::DescendantReport> ProvenanceDb::DescendantDownloads(
     const std::string& url, const search::LineageOptions& options) {
-  return search::DescendantDownloads(*store_, url, options);
+  return OneShot(
+      /*with_searcher=*/false,
+      [&](SnapshotView& view) {
+        return view.DescendantDownloads(url, options);
+      },
+      [&]() -> Result<search::DescendantReport> {
+        return search::DescendantDownloads(*store_, url, options);
+      });
 }
 
 }  // namespace bp::prov

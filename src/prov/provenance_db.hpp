@@ -14,6 +14,20 @@
 // next text-backed query re-indexes the new pages, so bursts of capture
 // never pay indexing latency inline.
 //
+// Concurrency model: ONE writer, N snapshot readers. Ingestion and the
+// one-shot query methods may be called from any thread (an internal
+// mutex serializes them), and every one-shot query under WAL durability
+// runs against a fresh snapshot — so queries from other threads never
+// observe a half-applied batch and never block behind each other, only
+// behind snapshot creation. For query bursts that should share one
+// consistent view (paging through results, multi-query forensics,
+// repeated TimeContext against one interval index), BeginSnapshot()
+// hands out a SnapshotView that pins the commit horizon once; its
+// queries run with NO locking at all, fully in parallel with ingestion
+// and each other (one SnapshotView per reader thread — the view itself
+// is single-threaded, the snapshot layer below is what's shared).
+// Destroy every SnapshotView before the ProvenanceDb.
+//
 // The owned EventBus is exposed so additional sinks (e.g. the Places
 // baseline recorder used by the storage-overhead experiment) can ride
 // the same stream; Publish delivers to every sink before reporting the
@@ -21,6 +35,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -32,6 +47,7 @@
 #include "search/personalize.hpp"
 #include "search/time_context.hpp"
 #include "storage/db.hpp"
+#include "storage/snapshot.hpp"
 #include "util/status.hpp"
 
 namespace bp::prov {
@@ -71,7 +87,9 @@ class ProvenanceDb {
   // WAL group commit, adjacent batches additionally share an fsync).
   util::Status IngestAll(const std::vector<capture::BrowserEvent>& events);
 
-  // Groups many Ingest calls into one storage transaction. Destruction
+  // Groups many Ingest calls into one storage transaction, holding the
+  // facade's writer lock for its whole lifetime (snapshot readers keep
+  // running; other writers and one-shot queries wait). Destruction
   // without Commit rolls the batch back.
   //
   //   { prov::ProvenanceDb::Batch batch(*db);
@@ -79,14 +97,123 @@ class ProvenanceDb {
   //     BP_RETURN_IF_ERROR(batch.Commit()); }
   class Batch {
    public:
-    explicit Batch(ProvenanceDb& db) : inner_(*db.store_) {}
-    util::Status Commit() { return inner_.Commit(); }
+    explicit Batch(ProvenanceDb& db)
+        : db_(db),
+          lock_(db.mu_),
+          watermark_(db.searcher_->indexed_watermark()),
+          inner_(*db.store_) {}
+    util::Status Commit() {
+      util::Status status = inner_.Commit();
+      committed_ = status.ok();
+      return status;
+    }
+    // Destruction without Commit rolls the storage back (when this
+    // batch owns the transaction). A mid-batch text query may have
+    // indexed the batch's pages (RefreshIndex composes into the open
+    // transaction), so the searcher's watermark and cached corpus stats
+    // now cover rolled-back node ids; schedule their restore for the
+    // next RefreshIndex — it must run AFTER the rollback, which member
+    // destruction order puts after this body.
+    ~Batch() {
+      if (!committed_ && inner_.owns_transaction()) {
+        db_.ScheduleIndexRestore(watermark_);
+      }
+    }
 
    private:
+    ProvenanceDb& db_;
+    std::unique_lock<std::recursive_mutex> lock_;
+    graph::NodeId watermark_;
+    bool committed_ = false;
     ProvStore::IngestBatch inner_;
   };
 
+  // -------------------------------------------------- read snapshots
+  //
+  // A frozen, fully consistent view of everything committed so far,
+  // exposing the complete query surface. Queries on a view never block
+  // and are never blocked by the writer; results are identical no
+  // matter how much is ingested after BeginSnapshot. Use one view per
+  // reader thread; keep views short-lived under sustained ingest (live
+  // snapshots pin WAL frames and defer checkpoints). Must be destroyed
+  // before the ProvenanceDb.
+  class SnapshotView {
+   public:
+    SnapshotView(SnapshotView&&) = default;
+    SnapshotView& operator=(SnapshotView&&) = default;
+
+    // The commit horizon this view observes.
+    uint64_t commit_seq() const { return snap_->commit_seq(); }
+
+    // The paper's query surface, frozen at commit_seq(). Semantics and
+    // stats match the ProvenanceDb methods of the same names.
+    util::Result<search::ContextualSearchResult> Search(
+        const std::string& query,
+        const search::ContextualSearchOptions& options = {});
+    util::Result<search::ContextualSearchResult> TextualSearch(
+        const std::string& query, size_t k = 10);
+    util::Result<search::PersonalizationResult> Personalize(
+        const std::string& query,
+        const search::PersonalizeOptions& options = {});
+    util::Result<search::TimeContextResult> TimeContext(
+        const std::string& primary_query, const std::string& context_query,
+        const search::TimeContextOptions& options = {});
+    util::Result<search::LineageReport> TraceDownload(
+        graph::NodeId download,
+        const search::LineageOptions& options = {});
+    util::Result<search::DescendantReport> DescendantDownloads(
+        const std::string& url, const search::LineageOptions& options = {});
+
+    // Raw graph cursors over the frozen view.
+    graph::EdgeCursor Edges(graph::NodeId node, graph::Direction dir,
+                            graph::QueryStats* stats = nullptr) const;
+    graph::EdgeCursor Edges(graph::QueryStats* stats = nullptr) const;
+    graph::NodeCursor Nodes(graph::NodeId min_id = 1,
+                            graph::QueryStats* stats = nullptr) const;
+
+    // Layer access (all snapshot-bound, read-only).
+    const ProvStore& store() const { return *store_; }
+    const storage::Snapshot& snapshot() const { return *snap_; }
+
+   private:
+    friend class ProvenanceDb;
+    SnapshotView() = default;
+
+    // Destruction order matters: the bound clones read through snap_,
+    // so snap_ (declared first) must be destroyed last.
+    std::unique_ptr<storage::Snapshot> snap_;
+    std::unique_ptr<ProvStore> store_;
+    std::unique_ptr<search::HistorySearcher> searcher_;
+  };
+
+  // Opens a snapshot of everything committed so far (refreshing the
+  // text index first, so the frozen view is fully searchable).
+  // FailedPrecondition in journal mode (it rewrites the database file
+  // in place) and inside an open Batch (the index refresh would
+  // compose into the uncommitted batch, leaving the view silently
+  // unsearchable for not-yet-indexed committed pages).
+  util::Result<SnapshotView> BeginSnapshot();
+
+  // ------------------------------------------------------ durability
+  //
+  // Makes every commit so far durable without waiting for the group
+  // commit window to fill (-> Pager::SyncWal). No-op in journal mode,
+  // where every commit is already durable on return.
+  util::Status Sync();
+  // Folds the write-ahead log into the database file now (->
+  // Pager::Checkpoint). FailedPrecondition while snapshots are live (a
+  // deferred checkpoint re-arms automatically at the next commit);
+  // no-op in journal mode.
+  util::Status Checkpoint();
+
   // ------------------------------------------------------- queries
+  //
+  // One-shot: each call runs against a private snapshot opened for just
+  // that call (under WAL durability), so concurrent ingestion never
+  // tears a result. Two cases stay on the serialized live path:
+  // journal mode (no snapshots) and calls made inside an open Batch,
+  // which read the batch's own uncommitted events. Prefer BeginSnapshot
+  // when several queries must agree on one view or share its caches.
   //
   // Use case 2.1: provenance-aware contextual history search.
   util::Result<search::ContextualSearchResult> Search(
@@ -124,8 +251,47 @@ class ProvenanceDb {
  private:
   ProvenanceDb() = default;
 
-  // Re-indexes pages added since the last text-backed query.
+  // Re-indexes pages added since the last text-backed query, first
+  // undoing index state left behind by a rolled-back Batch.
   util::Status RefreshIndex();
+  // Called by ~Batch on rollback; mu_ is held (the Batch holds it).
+  void ScheduleIndexRestore(graph::NodeId watermark) {
+    if (restore_watermark_ > watermark) restore_watermark_ = watermark;
+    index_stale_ = true;
+  }
+  // BeginSnapshot body; mu_ must already be held. Graph-only one-shot
+  // queries pass with_searcher=false to skip the text-index refresh
+  // and the searcher bind (lineage never touches the text index).
+  util::Result<SnapshotView> BeginSnapshotLocked(bool with_searcher);
+  // True when one-shot queries should run on a private snapshot: WAL
+  // durability and no open Batch (mid-batch queries keep the live,
+  // read-your-own-writes path).
+  bool UseSnapshotQueriesLocked() const;
+
+  // The one-shot dispatch every query method shares: under the writer
+  // lock, either open a private snapshot and run `on_view` against it
+  // UNLOCKED (the concurrent path), or run `on_live` while still
+  // holding the lock (journal mode / mid-batch). Both callables return
+  // the same Result type; on_live is responsible for RefreshIndex when
+  // the query is text-backed.
+  template <typename ViewFn, typename LiveFn>
+  auto OneShot(bool with_searcher, ViewFn&& on_view, LiveFn&& on_live)
+      -> decltype(on_live()) {
+    std::unique_lock<std::recursive_mutex> lock(mu_);
+    if (UseSnapshotQueriesLocked()) {
+      auto view = BeginSnapshotLocked(with_searcher);
+      if (!view.ok()) return view.status();
+      lock.unlock();
+      return on_view(*view);
+    }
+    return on_live();
+  }
+
+  // Serializes writers (ingestion, index refresh, snapshot creation,
+  // durability controls) against each other. Recursive because Batch
+  // holds it across user Ingest calls. Queries on an open SnapshotView
+  // never take it.
+  std::recursive_mutex mu_;
 
   std::unique_ptr<storage::Db> db_;
   std::unique_ptr<ProvStore> store_;
@@ -134,6 +300,9 @@ class ProvenanceDb {
   std::unique_ptr<search::HistorySearcher> searcher_;
   size_t ingest_batch_ = 256;
   bool index_stale_ = false;
+  // Watermark to rewind the searcher to before the next re-index
+  // (UINT64_MAX = nothing pending); set by rolled-back Batches.
+  graph::NodeId restore_watermark_ = UINT64_MAX;
 };
 
 }  // namespace bp::prov

@@ -27,7 +27,20 @@ Result<std::unique_ptr<HistorySearcher>> HistorySearcher::Open(
   return searcher;
 }
 
+Result<std::unique_ptr<HistorySearcher>> HistorySearcher::AtSnapshot(
+    const storage::Snapshot& snap, prov::ProvStore& bound_store) const {
+  BP_REQUIRE(bound_store.snapshot_bound(),
+             "AtSnapshot needs the matching snapshot-bound ProvStore");
+  std::unique_ptr<HistorySearcher> view(
+      new HistorySearcher(db_, bound_store));
+  BP_ASSIGN_OR_RETURN(view->index_, index_->AtSnapshot(snap));
+  view->indexed_watermark_ = indexed_watermark_;
+  view->bound_ = true;
+  return view;
+}
+
 Status HistorySearcher::IndexNewPages() {
+  BP_REQUIRE(!bound_, "IndexNewPages on a snapshot-bound searcher");
   // Canonical page nodes carry url+title; node ids ascend, so the cursor
   // seeks straight to the first node past the watermark instead of
   // scanning (and skipping) everything below it.

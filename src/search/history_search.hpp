@@ -64,9 +64,30 @@ class HistorySearcher {
   static util::Result<std::unique_ptr<HistorySearcher>> Open(
       storage::Db& db, prov::ProvStore& store);
 
+  // A read-only searcher over `snap`: the inverted index and all graph
+  // expansion resolve through the snapshot, so queries on the returned
+  // searcher are safe on a reader thread while the live stack keeps
+  // ingesting. `bound_store` must be the matching ProvStore::AtSnapshot
+  // handle (same snapshot); IndexNewPages on the result is a contract
+  // violation — index BEFORE snapshotting so the frozen view is fully
+  // searchable. `snap` and `bound_store` must outlive the result.
+  util::Result<std::unique_ptr<HistorySearcher>> AtSnapshot(
+      const storage::Snapshot& snap, prov::ProvStore& bound_store) const;
+  bool snapshot_bound() const { return bound_; }
+
   // Indexes canonical pages added since the last call (id watermark), so
   // it can be called after every ingestion batch.
   util::Status IndexNewPages();
+
+  // Recovery hook for a caller whose transaction rolled back after an
+  // IndexNewPages composed into it: rewinds the watermark to what it
+  // was before that indexing and re-reads the (reverted) corpus stats,
+  // so pages whose node ids are reused later are not silently skipped.
+  NodeId indexed_watermark() const { return indexed_watermark_; }
+  util::Status RestoreIndexState(NodeId watermark) {
+    indexed_watermark_ = watermark;
+    return index_->ReloadStats();
+  }
 
   // Baseline: BM25 only. Returns pages ranked by text_score.
   util::Result<ContextualSearchResult> TextualSearch(
@@ -91,6 +112,7 @@ class HistorySearcher {
   prov::ProvStore& store_;
   std::unique_ptr<text::InvertedIndex> index_;
   NodeId indexed_watermark_ = 0;
+  bool bound_ = false;  // snapshot-bound handle (AtSnapshot)
 };
 
 }  // namespace bp::search

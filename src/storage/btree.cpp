@@ -268,6 +268,16 @@ void SetInteriorCellChild(char* p, uint32_t i, PageId child) {
 
 // ------------------------------------------------------------ lifecycle
 
+Result<PageView> BTree::FetchPage(PageId id) const {
+  if (snap_ != nullptr) {
+    BP_ASSIGN_OR_RETURN(std::shared_ptr<const std::string> page,
+                        snap_->ReadPage(id));
+    return PageView(std::move(page));
+  }
+  BP_ASSIGN_OR_RETURN(PageRef ref, pager_.Get(id));
+  return PageView(std::move(ref));
+}
+
 Result<PageId> BTree::Create(Pager& pager) {
   BP_REQUIRE(pager.InTransaction(), "BTree::Create requires a transaction");
   BP_ASSIGN_OR_RETURN(PageId root, pager.Allocate());
@@ -303,7 +313,7 @@ Result<std::string> BTree::ReadOverflowChain(PageId first,
   out.reserve(total_len);
   PageId page = first;
   while (page != kNoPage && out.size() < total_len) {
-    BP_ASSIGN_OR_RETURN(PageRef ref, pager_.Get(page));
+    BP_ASSIGN_OR_RETURN(PageView ref, FetchPage(page));
     if (NodeType(ref.data()) != kTypeOverflow) {
       return Status::Corruption("overflow chain hits a non-overflow page");
     }
@@ -344,6 +354,7 @@ Status BTree::FreeLeafCellPayload(std::string_view cell_bytes) {
 // --------------------------------------------------------------- insert
 
 Status BTree::Put(std::string_view key, std::string_view value) {
+  BP_REQUIRE(snap_ == nullptr, "Put on a snapshot-bound tree");
   BP_REQUIRE(!key.empty(), "empty keys are not supported");
   BP_REQUIRE(key.size() <= kMaxKeySize, "key exceeds kMaxKeySize");
   AutoTxn txn(pager_);
@@ -570,7 +581,7 @@ Result<PageId> BTree::LeafForKey(std::string_view key,
                                  std::vector<DescentRef>* path) const {
   PageId page_id = root_;
   while (true) {
-    BP_ASSIGN_OR_RETURN(PageRef ref, pager_.Get(page_id));
+    BP_ASSIGN_OR_RETURN(PageView ref, FetchPage(page_id));
     const char* p = ref.data();
     if (NodeType(p) == kTypeLeaf) return page_id;
     BP_CHECK(NodeType(p) == kTypeInterior);
@@ -585,7 +596,7 @@ Result<PageId> BTree::LeafForKey(std::string_view key,
 
 Result<std::string> BTree::Get(std::string_view key) const {
   BP_ASSIGN_OR_RETURN(PageId leaf_id, LeafForKey(key, nullptr));
-  BP_ASSIGN_OR_RETURN(PageRef ref, pager_.Get(leaf_id));
+  BP_ASSIGN_OR_RETURN(PageView ref, FetchPage(leaf_id));
   const char* p = ref.data();
   uint32_t pos = LowerBound(p, key);
   if (pos >= NCells(p)) return Status::NotFound();
@@ -607,6 +618,7 @@ Result<bool> BTree::Contains(std::string_view key) const {
 // --------------------------------------------------------------- delete
 
 Status BTree::Delete(std::string_view key) {
+  BP_REQUIRE(snap_ == nullptr, "Delete on a snapshot-bound tree");
   AutoTxn txn(pager_);
   std::vector<DescentRef> path;
   auto leaf_or = LeafForKey(key, &path);
@@ -736,12 +748,12 @@ void BTree::Cursor::SeekRange(std::string_view lo, std::string_view hi) {
 void BTree::Cursor::SeekInternal(std::string_view target, bool exclusive) {
   valid_ = false;
   BP_CHECK(tree_ != nullptr, "Seek on a default-constructed cursor");
-  change_stamp_ = tree_->pager_.change_count();
+  change_stamp_ = tree_->ReadStamp();
   auto leaf = tree_->LeafForKey(target, nullptr);
   if (!leaf.ok()) return Fail(leaf.status());
   leaf_ = *leaf;
   {
-    auto ref = tree_->pager_.Get(leaf_);
+    auto ref = tree_->FetchPage(leaf_);
     if (!ref.ok()) return Fail(ref.status());
     pos_ = target.empty() ? 0 : LowerBound(ref->data(), target);
     if (exclusive && pos_ < NCells(ref->data()) &&
@@ -754,7 +766,9 @@ void BTree::Cursor::SeekInternal(std::string_view target, bool exclusive) {
 
 void BTree::Cursor::Next() {
   if (!valid_) return;  // exhausted or errored: stay put
-  if (change_stamp_ != tree_->pager_.change_count()) {
+  // Snapshot-bound trees cannot change under the cursor, so the stamp
+  // comparison is always-equal there and the re-seek never fires.
+  if (change_stamp_ != tree_->ReadStamp()) {
     // Something mutated (possibly the entry under us): the (leaf_, pos_)
     // slot is no longer trustworthy. Re-seek by key to the successor of
     // the last entry returned.
@@ -769,7 +783,7 @@ void BTree::Cursor::Next() {
 void BTree::Cursor::LoadOrAdvance() {
   valid_ = false;
   while (leaf_ != kNoPage) {
-    auto ref = tree_->pager_.Get(leaf_);
+    auto ref = tree_->FetchPage(leaf_);
     if (!ref.ok()) return Fail(ref.status());
     const char* p = ref->data();
     BP_CHECK(NodeType(p) == kTypeLeaf, "cursor left the leaf level");
@@ -848,7 +862,7 @@ Result<uint64_t> BTree::CountRange(std::string_view lo,
   uint64_t n = 0;
   bool first = true;
   while (page_id != kNoPage) {
-    BP_ASSIGN_OR_RETURN(PageRef ref, pager_.Get(page_id));
+    BP_ASSIGN_OR_RETURN(PageView ref, FetchPage(page_id));
     const char* p = ref.data();
     const uint32_t start =
         first && !lo.empty() ? LowerBound(p, lo) : 0;
@@ -883,7 +897,7 @@ Result<TreeStats> BTree::Stats() const {
     auto [page_id, depth] = stack.back();
     stack.pop_back();
     stats.depth = std::max(stats.depth, depth);
-    BP_ASSIGN_OR_RETURN(PageRef ref, pager_.Get(page_id));
+    BP_ASSIGN_OR_RETURN(PageView ref, FetchPage(page_id));
     const char* p = ref.data();
     if (NodeType(p) == kTypeInterior) {
       ++stats.interior_pages;
@@ -903,7 +917,7 @@ Result<TreeStats> BTree::Stats() const {
           PageId ov = cell.first_overflow;
           while (ov != kNoPage) {
             ++stats.overflow_pages;
-            BP_ASSIGN_OR_RETURN(PageRef oref, pager_.Get(ov));
+            BP_ASSIGN_OR_RETURN(PageView oref, FetchPage(ov));
             ov = Aux(oref.data());
           }
         }
@@ -916,6 +930,7 @@ Result<TreeStats> BTree::Stats() const {
 }
 
 Status BTree::FreeAllPages() {
+  BP_REQUIRE(snap_ == nullptr, "FreeAllPages on a snapshot-bound tree");
   AutoTxn txn(pager_);
   std::vector<PageId> stack{root_};
   while (!stack.empty()) {

@@ -18,12 +18,21 @@
 // the right cost/complexity point.
 //
 // Reads go through Cursor (Seek/SeekPrefix/Next): a cursor remembers its
-// (leaf page, slot) position plus a snapshot of the pager's change
+// (leaf page, slot) position plus a stamp of the pager's change
 // counter, so steady-state iteration is a slot increment, and any
 // interleaved write downgrades the next advance to a by-key re-seek —
 // cursors survive mutation of the tree (including deletion of the entry
 // under them) instead of being invalidated. The ForEach* callbacks are
 // retained as thin wrappers over a cursor.
+//
+// Snapshot reads: BoundAt(snapshot) returns a read-only handle to the
+// SAME tree (root ids are stable for a tree's lifetime) whose every
+// page fetch resolves through the storage::Snapshot instead of the live
+// pager. Bound handles are safe to read from any thread while the
+// single writer keeps committing, mutations on them are contract
+// violations, and their cursors never re-seek — a frozen view cannot
+// change under them, so the change-counter downgrade is a live-cursor
+// legacy the snapshot path skips entirely.
 #pragma once
 
 #include <cstdint>
@@ -32,8 +41,10 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "storage/pager.hpp"
+#include "storage/snapshot.hpp"
 #include "util/status.hpp"
 
 namespace bp::storage {
@@ -62,6 +73,14 @@ class BTree {
   static util::Result<PageId> Create(Pager& pager);
 
   BTree(Pager& pager, PageId root) : pager_(pager), root_(root) {}
+
+  // A read-only handle on this tree whose page fetches resolve through
+  // `snap` (see the header comment). The snapshot must outlive the
+  // returned tree and every cursor obtained from it.
+  BTree BoundAt(const Snapshot& snap) const {
+    return BTree(pager_, root_, &snap);
+  }
+  bool snapshot_bound() const { return snap_ != nullptr; }
 
   // Forward iterator over the tree's entries in key order.
   //
@@ -193,6 +212,17 @@ class BTree {
     uint32_t ref_index = 0;
   };
 
+  BTree(Pager& pager, PageId root, const Snapshot* snap)
+      : pager_(pager), root_(root), snap_(snap) {}
+
+  // The one read-path page fetch: live pager when unbound, snapshot
+  // otherwise.
+  util::Result<PageView> FetchPage(PageId id) const;
+  // Mutation stamp cursors watch; constant (0) on the snapshot path.
+  uint64_t ReadStamp() const {
+    return snap_ != nullptr ? 0 : pager_.change_count();
+  }
+
   util::Result<SplitResult> InsertRec(PageId page_id, std::string_view key,
                                       std::string_view value);
   util::Status SplitRootIfNeeded(const SplitResult& split);
@@ -208,6 +238,24 @@ class BTree {
 
   Pager& pager_;
   PageId root_;
+  const Snapshot* snap_ = nullptr;  // non-null = read-only bound handle
+};
+
+// Owns the snapshot-bound BTree clones behind a reader layer's
+// AtSnapshot handle (GraphStore, ProvStore, InvertedIndex, ...): the
+// layer keeps its raw BTree* members pointing into this storage and
+// asks bound() instead of tracking a separate flag. Empty (bound() ==
+// false) on live stores.
+class BoundTrees {
+ public:
+  BTree* Bind(const Snapshot& snap, const BTree* tree) {
+    owned_.push_back(std::make_unique<BTree>(tree->BoundAt(snap)));
+    return owned_.back().get();
+  }
+  bool bound() const { return !owned_.empty(); }
+
+ private:
+  std::vector<std::unique_ptr<BTree>> owned_;
 };
 
 }  // namespace bp::storage

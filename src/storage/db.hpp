@@ -70,6 +70,13 @@ class Db {
   util::Status Commit() { return pager_->Commit(); }
   util::Status Rollback() { return pager_->Rollback(); }
 
+  // Read transaction: an immutable view of the committed state, safe to
+  // read from other threads while this Db keeps writing (WAL mode only;
+  // see Pager::BeginRead). Bind tree handles to it with BTree::BoundAt.
+  util::Result<std::unique_ptr<Snapshot>> BeginRead() {
+    return pager_->BeginRead();
+  }
+
   util::Result<SpaceReport> Space() const;
 
   Pager& pager() { return *pager_; }

@@ -3,9 +3,12 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <mutex>
+#include <shared_mutex>
 
 #include "util/require.hpp"
 #include "util/strings.hpp"
@@ -109,25 +112,38 @@ class PosixEnv : public Env {
 
 // Env-wide state every open MemFile can reach. shared_ptr so handles
 // outliving the env (legal for content, see MemEnv::files_) stay safe.
+// Mutating operations (and so the op log) are single-writer-thread by
+// contract; sync_count is atomic because tests read it concurrently.
 struct MemEnv::Shared {
   bool logging = false;
   std::vector<MemEnvOp> ops;
   uint32_t sync_cost_us = 0;
-  uint64_t sync_count = 0;
+  std::atomic<uint64_t> sync_count{0};
+};
+
+// One file's bytes plus a PER-FILE mutex making content access
+// thread-safe (reads shared, writes exclusive), so snapshot readers
+// share files with the single writer the way PosixFile's per-fd
+// pread/pwrite does — a WAL append never blocks a reader's page read
+// from the database file.
+struct MemEnv::FileContent {
+  std::shared_mutex mu;
+  std::string data;
 };
 
 namespace {
 
 class MemFile : public File {
  public:
-  MemFile(std::shared_ptr<std::string> content, std::string name,
+  MemFile(std::shared_ptr<MemEnv::FileContent> content, std::string name,
           std::shared_ptr<MemEnv::Shared> shared)
       : content_(std::move(content)),
         name_(std::move(name)),
         shared_(std::move(shared)) {}
 
   Status Read(uint64_t offset, size_t n, std::string* out) const override {
-    const std::string& c = *content_;
+    std::shared_lock<std::shared_mutex> lock(content_->mu);
+    const std::string& c = content_->data;
     if (offset >= c.size()) return Status::OutOfRange("read past EOF");
     if (offset + n > c.size()) return Status::IoError("short read (mem)");
     out->assign(c, offset, n);
@@ -135,18 +151,19 @@ class MemFile : public File {
   }
 
   Status Write(uint64_t offset, std::string_view data) override {
+    std::unique_lock<std::shared_mutex> lock(content_->mu);
     if (shared_->logging) {
       shared_->ops.push_back(MemEnvOp{MemEnvOp::Kind::kWrite, name_, offset,
                                       std::string(data), 0});
     }
-    std::string& c = *content_;
+    std::string& c = content_->data;
     if (offset + data.size() > c.size()) c.resize(offset + data.size());
     c.replace(offset, data.size(), data);
     return Status::Ok();
   }
 
   Status Sync() override {
-    ++shared_->sync_count;
+    shared_->sync_count.fetch_add(1, std::memory_order_relaxed);
     if (shared_->sync_cost_us > 0) {
       // Busy-wait (steady clock) so MemEnv benchmarks charge wall-clock
       // time per fsync the way a real device would, deterministically
@@ -160,20 +177,22 @@ class MemFile : public File {
   }
 
   Status Truncate(uint64_t size) override {
+    std::unique_lock<std::shared_mutex> lock(content_->mu);
     if (shared_->logging) {
       shared_->ops.push_back(
           MemEnvOp{MemEnvOp::Kind::kTruncate, name_, 0, {}, size});
     }
-    content_->resize(size);
+    content_->data.resize(size);
     return Status::Ok();
   }
 
   Result<uint64_t> Size() const override {
-    return static_cast<uint64_t>(content_->size());
+    std::shared_lock<std::shared_mutex> lock(content_->mu);
+    return static_cast<uint64_t>(content_->data.size());
   }
 
  private:
-  std::shared_ptr<std::string> content_;
+  std::shared_ptr<MemEnv::FileContent> content_;
   std::string name_;
   std::shared_ptr<MemEnv::Shared> shared_;
 };
@@ -190,7 +209,7 @@ MemEnv::MemEnv() : shared_(std::make_shared<Shared>()) {}
 Result<std::unique_ptr<File>> MemEnv::Open(const std::string& name) {
   auto it = files_.find(name);
   if (it == files_.end()) {
-    it = files_.emplace(name, std::make_shared<std::string>()).first;
+    it = files_.emplace(name, std::make_shared<FileContent>()).first;
   }
   return {std::unique_ptr<File>(new MemFile(it->second, name, shared_))};
 }
@@ -210,14 +229,19 @@ bool MemEnv::Exists(const std::string& name) const {
 
 std::map<std::string, std::string> MemEnv::SnapshotAll() const {
   std::map<std::string, std::string> out;
-  for (const auto& [name, content] : files_) out[name] = *content;
+  for (const auto& [name, content] : files_) {
+    std::shared_lock<std::shared_mutex> lock(content->mu);
+    out[name] = content->data;
+  }
   return out;
 }
 
 void MemEnv::RestoreAll(const std::map<std::string, std::string>& snapshot) {
   files_.clear();
   for (const auto& [name, content] : snapshot) {
-    files_[name] = std::make_shared<std::string>(content);
+    auto file = std::make_shared<FileContent>();
+    file->data = content;
+    files_[name] = std::move(file);
   }
 }
 

@@ -19,7 +19,12 @@ namespace bp::storage {
 using bp::util::Result;
 using bp::util::Status;
 
-// Random-access file handle. Not thread-safe; the engine is single-writer.
+// Random-access file handle. Concurrent Read calls, and Reads
+// concurrent with Writes to non-overlapping ranges, are safe (PosixFile
+// uses pread/pwrite; MemFile takes a per-file reader/writer lock) —
+// this is what lets snapshot readers share the database and log files
+// with the single writer. Everything else (Truncate, overlapping
+// writes) remains single-threaded writer territory.
 class File {
  public:
   virtual ~File() = default;
@@ -102,14 +107,16 @@ class MemEnv : public Env {
   void set_sync_cost_us(uint32_t us);
   uint64_t sync_count() const;
 
-  // Env-wide state reachable from every open MemFile (implementation
-  // detail; public only so env.cpp's file class can name it).
+  // Env-wide state reachable from every open MemFile, and one file's
+  // lock + bytes (implementation details; public only so env.cpp's
+  // file class can name them).
   struct Shared;
+  struct FileContent;
 
  private:
   // shared_ptr: open handles keep content alive across Remove (POSIX
   // unlink semantics).
-  std::map<std::string, std::shared_ptr<std::string>> files_;
+  std::map<std::string, std::shared_ptr<FileContent>> files_;
   std::shared_ptr<Shared> shared_;
 };
 

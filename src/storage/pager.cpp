@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "storage/snapshot.hpp"
 #include "util/hash.hpp"
 #include "util/require.hpp"
 #include "util/serde.hpp"
@@ -90,10 +91,15 @@ Result<std::unique_ptr<Pager>> Pager::Open(std::string path,
     BP_ASSIGN_OR_RETURN(pager->wal_,
                         wal::WalWriter::Open(options.env, pager->WalPath()));
   }
+  pager->PublishCommittedState();
   return pager;
 }
 
 Pager::~Pager() {
+  // A snapshot outliving its pager would read through dangling file
+  // handles; that is a caller bug, not a recoverable condition.
+  BP_CHECK(live_snapshots() == 0,
+           "all snapshots must be released before the pager closes");
   if (in_txn_) (void)Rollback();
   if (wal_ != nullptr) {
     // Clean close: make every commit durable, fold the log into the
@@ -278,7 +284,19 @@ Status Pager::SyncWal() {
 
 Status Pager::Checkpoint() {
   BP_REQUIRE(wal_ != nullptr, "Checkpoint requires WAL durability mode");
-  BP_REQUIRE(!in_txn_, "Checkpoint during a transaction");
+  if (in_txn_) {
+    return Status::FailedPrecondition(
+        "Checkpoint during an open transaction");
+  }
+  // Hold commit_mu_ for the whole fold: a snapshot beginning mid-fold
+  // would otherwise read the database file while the checkpointer is
+  // rewriting it. BeginRead blocks for the (rare, bounded) duration.
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  if (live_snapshots_ > 0) {
+    return Status::FailedPrecondition(
+        "Checkpoint with live snapshots: they pin WAL frames; release "
+        "them first (automatic checkpoints retry at the next commit)");
+  }
   // The log must be durable before its pages land in the database file
   // (log ahead of data): otherwise a crash could leave the database with
   // pages from a transaction the log cannot prove committed.
@@ -296,15 +314,86 @@ Status Pager::Checkpoint() {
   BP_RETURN_IF_ERROR(wal_->ResetToHeader());
   wal_index_.clear();
   ++stats_.checkpoints;
+  PublishLocked(std::make_shared<std::unordered_map<PageId, uint64_t>>());
   return Status::Ok();
 }
 
 Status Pager::MaybeCheckpoint() {
-  if (wal_ == nullptr || in_txn_ ||
+  if (wal_ == nullptr || in_txn_ || live_snapshots() > 0 ||
       wal_->SizeBytes() < options_.wal_checkpoint_bytes) {
+    // Deferred while snapshots are live; retried at the next commit.
     return Status::Ok();
   }
-  return Checkpoint();
+  Status folded = Checkpoint();
+  if (folded.code() == util::StatusCode::kFailedPrecondition) {
+    // A reader opened a snapshot between the check above and the
+    // checkpoint taking its lock: same deferral, next commit retries.
+    return Status::Ok();
+  }
+  return folded;
+}
+
+void Pager::PublishLocked(
+    std::shared_ptr<std::unordered_map<PageId, uint64_t>> index) {
+  published_.commit_seq = commit_seq_;
+  published_.page_count = page_count_;
+  published_.catalog_root = catalog_root_;
+  published_.main_file_pages = main_file_pages_;
+  if (index != nullptr) published_.wal_index = std::move(index);
+}
+
+void Pager::PublishCommittedState() {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  PublishLocked(
+      std::make_shared<std::unordered_map<PageId, uint64_t>>(wal_index_));
+}
+
+void Pager::PublishCommitDelta(
+    const std::vector<std::pair<PageId, uint64_t>>& offsets) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  // use_count can only grow under commit_mu_ (BeginRead) — a snapshot
+  // destructor may decrement it concurrently, which at worst makes us
+  // copy when in-place would have been safe.
+  if (published_.wal_index == nullptr ||
+      published_.wal_index.use_count() > 1) {
+    PublishLocked(
+        std::make_shared<std::unordered_map<PageId, uint64_t>>(wal_index_));
+    return;
+  }
+  for (const auto& [id, offset] : offsets) {
+    (*published_.wal_index)[id] = offset;
+  }
+  PublishLocked(nullptr);
+}
+
+util::Result<std::unique_ptr<Snapshot>> Pager::BeginRead() {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition(
+        "BeginRead requires WAL durability mode (journal mode rewrites "
+        "the database file in place at every commit)");
+  }
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  std::unique_ptr<Snapshot> snap(new Snapshot());
+  snap->pager_ = this;
+  snap->commit_seq_ = published_.commit_seq;
+  snap->page_count_ = published_.page_count;
+  snap->catalog_root_ = published_.catalog_root;
+  snap->main_file_pages_ = published_.main_file_pages;
+  snap->wal_index_ = published_.wal_index;
+  snap->cache_cap_ = options_.cache_pages;
+  ++live_snapshots_;
+  return snap;
+}
+
+uint32_t Pager::live_snapshots() const {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  return live_snapshots_;
+}
+
+void Pager::ReleaseSnapshot() {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  BP_CHECK(live_snapshots_ > 0);
+  --live_snapshots_;
 }
 
 Status Pager::Begin() {
@@ -347,6 +436,13 @@ Status Pager::Commit() {
   in_txn_ = false;
   ++stats_.commits;
   MaybeEvict();
+
+  // Make the new commit visible to BeginRead: the log write above
+  // happens-before the publication, so a snapshot that observes this
+  // commit_seq can read every frame offset its index names.
+  if (options_.durability == DurabilityMode::kWal) {
+    PublishCommitDelta(last_commit_offsets_);
+  }
 
   // Group commit: the transaction is fully retired above BEFORE the
   // fsync is attempted, because once its commit frame is in the log it
@@ -425,7 +521,9 @@ Status Pager::CommitViaWal(const std::vector<internal::Frame*>& dirty) {
   // One page-image frame per dirty page, then the commit frame, appended
   // to the log in a single sequential write. The database file is not
   // touched; that is the checkpointer's job.
-  std::vector<std::pair<PageId, uint64_t>> offsets;
+  std::vector<std::pair<PageId, uint64_t>>& offsets =
+      last_commit_offsets_;  // kept for PublishCommitDelta
+  offsets.clear();
   offsets.reserve(dirty.size());
   for (internal::Frame* frame : dirty) {
     if (frame->id == 0) {

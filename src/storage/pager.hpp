@@ -40,12 +40,22 @@
 // left behind by the other (Open runs both recoveries), so the mode is
 // a per-open choice, not a file-format commitment.
 //
-// Not thread-safe: the engine is single-writer by design (the paper's
-// workload is one local browser).
+// Concurrency model: single writer, snapshot readers. Every mutating
+// entry point (Begin/Commit/Rollback, GetMutable, Allocate, Free,
+// SyncWal, Checkpoint) and the live read path (Get) belong to ONE
+// writer thread. Concurrent reads go through BeginRead() (kWal only),
+// which returns a Snapshot — an immutable view of the committed state
+// at a commit sequence number (see storage/snapshot.hpp). Snapshots
+// are safe against a concurrently committing writer: commits only
+// append to the log, and checkpointing (the one operation that
+// rewrites bytes a snapshot may still need) is DEFERRED while any
+// snapshot is live. All snapshots must be released before the pager
+// closes.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -101,6 +111,7 @@ struct PagerStats {
 };
 
 class Pager;
+class Snapshot;
 
 namespace internal {
 struct Frame {
@@ -196,17 +207,54 @@ class Pager {
   util::Status SyncWal();
 
   // kWal only: forces a checkpoint now (normally driven by
-  // wal_checkpoint_bytes and clean close). Requires no open transaction.
+  // wal_checkpoint_bytes and clean close). FailedPrecondition when a
+  // transaction is open or live snapshots still pin WAL frames.
   util::Status Checkpoint();
 
   DurabilityMode durability() const { return options_.durability; }
 
+  // --- snapshots (read transactions) ---------------------------------
+  //
+  // Freezes the committed state as of now — commit sequence number,
+  // page count, catalog root, and the offsets of every committed page
+  // still living in the write-ahead log — into an immutable view that
+  // any number of reader threads can read while this (single-writer)
+  // pager keeps committing. kWal only: the log is the device that makes
+  // committed history immutable; journal mode rewrites the database
+  // file in place at every commit and returns FailedPrecondition.
+  // Thread-safe (may be called off the writer thread). While snapshots
+  // are live, checkpoints are deferred and the log grows; release
+  // snapshots promptly under sustained ingest.
+  util::Result<std::unique_ptr<Snapshot>> BeginRead();
+
+  // Snapshots currently alive (they pin WAL frames and defer
+  // checkpoints). Thread-safe.
+  uint32_t live_snapshots() const;
+
  private:
   friend class PageRef;
+  friend class Snapshot;
 
   // Out of line: members include unique_ptr<wal::WalWriter>, which is an
   // incomplete type here.
   Pager(std::string path, PagerOptions options);
+
+  // Publish the current committed state into published_ under
+  // commit_mu_ so BeginRead (any thread) sees either the pre- or
+  // post-commit state, never a torn mix. Writer thread only.
+  // PublishCommittedState rebuilds the published WAL index from
+  // scratch (Open, checkpoint); PublishCommitDelta applies just one
+  // commit's page offsets, copying the map only when a live snapshot
+  // still shares it — so commits without snapshot pressure publish in
+  // O(dirty pages), not O(index).
+  void PublishCommittedState();
+  void PublishCommitDelta(
+      const std::vector<std::pair<PageId, uint64_t>>& offsets);
+  // Copies the committed header fields (and, when non-null, the given
+  // index) into published_. commit_mu_ must already be held.
+  void PublishLocked(
+      std::shared_ptr<std::unordered_map<PageId, uint64_t>> index);
+  void ReleaseSnapshot();
 
   util::Status InitializeNewDb();
   util::Status LoadHeader();
@@ -259,6 +307,26 @@ class Pager {
   std::unordered_map<PageId, uint64_t> wal_index_;
   // Committed transactions whose log records are not yet fsynced.
   uint32_t wal_unsynced_commits_ = 0;
+  // The (page, log offset) pairs of the most recent WAL commit; what
+  // PublishCommitDelta applies to the published index.
+  std::vector<std::pair<PageId, uint64_t>> last_commit_offsets_;
+
+  // --- snapshot support ----------------------------------------------
+  // The committed state as readers may observe it. Guarded by
+  // commit_mu_. The wal_index map is mutated in place only while no
+  // snapshot shares it (use_count == 1 under the lock); once a
+  // snapshot holds a reference the next publish copies instead, so
+  // every snapshot's view stays immutable.
+  struct PublishedState {
+    uint64_t commit_seq = 0;
+    uint32_t page_count = 0;
+    PageId catalog_root = kNoPage;
+    uint32_t main_file_pages = 0;
+    std::shared_ptr<std::unordered_map<PageId, uint64_t>> wal_index;
+  };
+  mutable std::mutex commit_mu_;
+  PublishedState published_;
+  uint32_t live_snapshots_ = 0;  // guarded by commit_mu_
 
   bool crash_after_journal_ = false;
   PagerStats stats_;
@@ -297,6 +365,10 @@ class AutoTxn {
     committed_ = true;
     return pager_.Commit();
   }
+
+  // True when this AutoTxn opened the transaction (so its destruction
+  // without Commit really rolls back; a nested AutoTxn never does).
+  bool owns() const { return owns_; }
 
  private:
   Pager& pager_;

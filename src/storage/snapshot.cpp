@@ -1,0 +1,66 @@
+#include "storage/snapshot.hpp"
+
+#include "util/require.hpp"
+#include "util/strings.hpp"
+#include "wal/wal_writer.hpp"
+
+namespace bp::storage {
+
+using util::Result;
+using util::Status;
+
+Snapshot::~Snapshot() {
+  if (pager_ != nullptr) pager_->ReleaseSnapshot();
+}
+
+Result<std::shared_ptr<const std::string>> Snapshot::ReadPage(
+    PageId id) const {
+  if (id >= page_count_) {
+    return Status::Corruption(util::StrFormat(
+        "snapshot read of page %u past its page count %u", id,
+        page_count_));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(id);
+    if (it != cache_.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+
+  // Copy-on-read, outside the cache lock: concurrent first reads of the
+  // same page both fetch; the loser's insert is a no-op.
+  auto page = std::make_shared<std::string>();
+  auto wal_hit = wal_index_->find(id);
+  if (wal_hit != wal_index_->end()) {
+    // Latest committed image as of this snapshot lives in the log. The
+    // log only grows while snapshots are live (checkpoint truncation is
+    // deferred), so the frozen offset is still the bytes we froze.
+    BP_RETURN_IF_ERROR(
+        pager_->wal_->ReadPayload(wal_hit->second, kPageSize, page.get()));
+  } else if (id < main_file_pages_) {
+    // The main database file is only rewritten by checkpoints, which
+    // cannot run while this snapshot is live.
+    BP_RETURN_IF_ERROR(
+        pager_->file_->Read(uint64_t{id} * kPageSize, kPageSize,
+                            page.get()));
+  } else {
+    // Committed state can only reference pages that were checkpointed
+    // into the main file or logged; anything else is damage.
+    return Status::Corruption(util::StrFormat(
+        "snapshot page %u is in neither the log nor the database file",
+        id));
+  }
+  pages_read_.fetch_add(1, std::memory_order_relaxed);
+
+  std::shared_ptr<const std::string> out = std::move(page);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cache_.size() < cache_cap_) {
+    auto [it, inserted] = cache_.emplace(id, out);
+    if (!inserted) out = it->second;
+  }
+  return out;
+}
+
+}  // namespace bp::storage

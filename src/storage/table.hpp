@@ -13,6 +13,12 @@
 // key + '\0' + big-endian row id, which keeps entries grouped by key and
 // ordered by id; user keys must therefore not contain NUL bytes (numeric
 // composite keys should use OrderedKeyU64Pair on a raw BTree instead).
+//
+// Snapshot reads: Table and Index are thin typed views over a BTree, so
+// constructing them over a snapshot-bound handle (BTree::BoundAt) makes
+// every Get/Scan/Cursor/FirstEqual read through that storage::Snapshot —
+// safe on reader threads while the writer commits — and every mutation
+// a contract violation. No separate plumbing is needed here.
 #pragma once
 
 #include <algorithm>

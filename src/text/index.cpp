@@ -84,6 +84,19 @@ Result<std::unique_ptr<InvertedIndex>> InvertedIndex::Open(storage::Db& db,
   return index;
 }
 
+Result<std::unique_ptr<InvertedIndex>> InvertedIndex::AtSnapshot(
+    const storage::Snapshot& snap) const {
+  std::unique_ptr<InvertedIndex> view(new InvertedIndex(db_, ns_));
+  view->terms_tree_ = view->bound_trees_.Bind(snap, terms_tree_);
+  view->docs_tree_ = view->bound_trees_.Bind(snap, docs_tree_);
+  view->meta_tree_ = view->bound_trees_.Bind(snap, meta_tree_);
+  view->params_ = params_;
+  // Corpus stats come from the snapshot's meta tree, NOT the live
+  // cached members — the writer updates those concurrently.
+  BP_RETURN_IF_ERROR(view->LoadStats());
+  return view;
+}
+
 Status InvertedIndex::LoadStats() {
   auto blob = meta_tree_->Get(kStatsKey);
   if (blob.ok()) {
@@ -107,6 +120,7 @@ Status InvertedIndex::SaveStats() {
 
 Status InvertedIndex::AddDocument(DocId doc,
                                   const std::vector<std::string>& tokens) {
+  BP_REQUIRE(!snapshot_bound(), "AddDocument on a snapshot-bound index");
   BP_REQUIRE(doc != 0, "doc id 0 is reserved");
   std::unordered_map<std::string_view, uint32_t> counts;
   for (const std::string& token : tokens) ++counts[token];
@@ -122,6 +136,8 @@ Status InvertedIndex::AddDocument(DocId doc,
 }
 
 Status InvertedIndex::Flush() {
+  // Bound handles have nothing pending by construction (AddDocument is
+  // rejected), so the implicit Flush in every query is a no-op there.
   if (pending_.empty() && pending_doc_lengths_.empty()) return Status::Ok();
   AutoTxn txn(db_.pager());
 

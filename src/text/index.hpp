@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -53,12 +54,27 @@ class InvertedIndex {
   static util::Result<std::unique_ptr<InvertedIndex>> Open(storage::Db& db,
                                                            std::string ns);
 
+  // A read-only handle on the same index whose postings, document
+  // lengths, and BM25 corpus stats all resolve through `snap` — the
+  // snapshot-isolated search path. Documents buffered but not yet
+  // Flush()ed at snapshot time are invisible (flush before snapshotting
+  // to make them searchable); AddDocument/Flush on the returned handle
+  // are contract violations. `snap` must outlive the handle.
+  util::Result<std::unique_ptr<InvertedIndex>> AtSnapshot(
+      const storage::Snapshot& snap) const;
+  bool snapshot_bound() const { return bound_trees_.bound(); }
+
   // Indexes a document's tokens (use text::Tokenize). A document id must
   // be added at most once; re-adding merges term frequencies.
   util::Status AddDocument(DocId doc, const std::vector<std::string>& tokens);
 
   // Merges buffered postings into the persistent trees.
   util::Status Flush();
+
+  // Re-reads the persisted corpus stats, discarding the cached copies.
+  // For callers whose surrounding transaction rolled back after a
+  // Flush: the trees reverted, so the cached totals must too.
+  util::Status ReloadStats() { return LoadStats(); }
 
   // BM25-ranked disjunctive (OR) search over the query tokens. Returns up
   // to `k` documents, highest score first (ties by doc id).
@@ -91,6 +107,9 @@ class InvertedIndex {
   storage::BTree* terms_tree_ = nullptr;
   storage::BTree* docs_tree_ = nullptr;
   storage::BTree* meta_tree_ = nullptr;
+  // Snapshot-bound handles (AtSnapshot): the tree pointers above point
+  // into this owned storage instead of the Db's live handles.
+  storage::BoundTrees bound_trees_;
 
   // Buffered, not yet flushed: term -> postings (sorted by doc at flush).
   std::map<std::string, std::vector<Posting>, std::less<>> pending_;

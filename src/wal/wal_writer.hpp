@@ -59,6 +59,11 @@ class WalWriter {
   util::Status ResetToHeader();
 
   // Reads `n` payload bytes at `offset` (as returned by AddPage).
+  // Thread-safe against concurrent CommitTxn appends (File::Read at
+  // already-written offsets; see storage/env.hpp) — this is how
+  // snapshots read pinned frames while the writer keeps logging. NOT
+  // safe against ResetToHeader, which truncates; the pager only
+  // checkpoints when no snapshot is live.
   util::Status ReadPayload(uint64_t offset, size_t n, std::string* out) const;
 
   // Total file bytes (header + appended frames).
