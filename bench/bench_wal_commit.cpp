@@ -30,6 +30,7 @@ struct RunResult {
   double commits_per_sec = 0;
   double fsyncs_per_txn = 0;
   double synced_kb_per_txn = 0;
+  double txns_per_group = 0;  // commits / group_commits (WAL amortization)
 };
 
 RunResult RunCommitStream(storage::DurabilityMode mode,
@@ -65,6 +66,8 @@ RunResult RunCommitStream(storage::DurabilityMode mode,
   r.synced_kb_per_txn =
       static_cast<double>(after.bytes_synced - before.bytes_synced) /
       1024.0 / kTxns;
+  uint64_t groups = after.group_commits - before.group_commits;
+  r.txns_per_group = groups == 0 ? 0.0 : static_cast<double>(kTxns) / groups;
   return r;
 }
 
@@ -130,6 +133,8 @@ int main(int argc, char** argv) {
         speedup);
     Metric(util::StrFormat("wal_group%u_commits_per_sec", window),
            wal.commits_per_sec);
+    Metric(util::StrFormat("wal_group%u_txns_per_group", window),
+           wal.txns_per_group);
   }
   Blank();
   Row("acceptance (wal window >= 8 at >= 3x journal): %s",

@@ -1,7 +1,9 @@
 // Quickstart: record a short browsing session into the provenance store
-// and ask it the paper's motivating question — "where did this come
-// from?" — plus a contextual history search the textual baseline fails,
-// and a snapshot query that stays consistent while ingestion continues.
+// — through the asynchronous ingest pipeline, the way a capture thread
+// would — and ask it the paper's motivating question — "where did this
+// come from?" — plus a contextual history search the textual baseline
+// fails, and a snapshot query that stays consistent while ingestion
+// continues.
 //
 // ProvenanceDb is the one supported way to stand the system up: it owns
 // the storage engine, the provenance store, the event bus + recorder,
@@ -47,7 +49,21 @@ int main() {
   s.Wait(util::Seconds(5));
   uint64_t dl = s.Download("http://archive.example/kane-script.pdf",
                            "/home/user/Downloads/kane-script.pdf", archive);
-  if (!(*db)->IngestAll(s.events()).ok()) return 1;
+
+  //    Async ingest: each event is a non-blocking enqueue (what a
+  //    browser's capture thread pays); the background committer batches
+  //    them into storage transactions. Flush(ticket) is the durability
+  //    barrier — it returns once everything up to that ticket is
+  //    committed AND fsynced.
+  prov::ProvenanceDb::IngestTicket last = 0;
+  for (const auto& event : s.events()) {
+    auto ticket = (*db)->IngestAsync(event);
+    if (!ticket.ok()) return 1;
+    last = *ticket;
+  }
+  if (!(*db)->Flush(last).ok()) return 1;
+  std::printf("ingested %llu events asynchronously (all durable)\n\n",
+              (unsigned long long)last);
 
   // 3. Contextual history search: "rosebud" finds Citizen Kane even
   //    though the page text never contains the word.
@@ -75,7 +91,10 @@ int main() {
 
   // 5. Snapshot-isolated reads: freeze a view, keep ingesting, and the
   //    view's answers do not move — this is how query load (even on
-  //    other threads) runs against a live capture stream.
+  //    other threads) runs against a live capture stream. Drain() is
+  //    the everything-so-far barrier; one-shot queries and
+  //    BeginSnapshot drain implicitly (read-your-writes), so the
+  //    explicit call is only needed when you want durability itself.
   auto view = (*db)->BeginSnapshot();
   if (!view.ok()) return 1;
   sim::ScenarioBuilder more;
@@ -83,7 +102,10 @@ int main() {
   more.Visit(2, "http://flowers.example/rosebud-care",
              "rosebud flower care tips",
              capture::NavigationAction::kSearchResult, 0, rose_search);
-  if (!(*db)->IngestAll(more.events()).ok()) return 1;
+  for (const auto& event : more.events()) {
+    if (!(*db)->IngestAsync(event).ok()) return 1;
+  }
+  if (!(*db)->Drain().ok()) return 1;
 
   auto frozen = view->Search("rosebud");
   auto live = (*db)->Search("rosebud");

@@ -2,6 +2,12 @@
 //
 // The storage-overhead experiment depends on both recorders seeing the
 // SAME stream; the bus is the single point of delivery.
+//
+// A sink may consume events synchronously (the recorders commit into
+// storage before returning) or hand them off without blocking — the
+// AsyncSink adapter in capture/pipeline.hpp forwards OnEvent into the
+// bounded ingest queue, so a bus on a capture thread never waits on a
+// storage transaction or an fsync.
 #pragma once
 
 #include <utility>
@@ -23,6 +29,7 @@ class EventBus {
  public:
   // Sinks are not owned; they must outlive the bus.
   void Subscribe(EventSink* sink) { sinks_.push_back(sink); }
+  size_t sink_count() const { return sinks_.size(); }
 
   // Delivers `event` to EVERY sink — a failing sink does not starve the
   // ones after it — then returns the first error. Stopping mid-fan-out

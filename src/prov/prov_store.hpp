@@ -74,7 +74,10 @@ class ProvStore {
   //     ... store->RecordVisit(...); store->RecordClose(...); ...
   //     BP_RETURN_IF_ERROR(batch.Commit()); }
   //
-  // Destruction without Commit rolls the whole batch back.
+  // Destruction without Commit rolls the whole batch back. This is also
+  // the unit of work of ProvenanceDb's async ingest committer: each
+  // drained queue batch becomes exactly one IngestBatch, so a batch of
+  // asynchronously captured events is all-or-nothing on disk.
   class IngestBatch {
    public:
     explicit IngestBatch(ProvStore& store) : txn_(store.db_.pager()) {}

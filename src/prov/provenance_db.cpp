@@ -19,10 +19,105 @@ Result<std::unique_ptr<ProvenanceDb>> ProvenanceDb::Open(
   out->bus_.Subscribe(out->recorder_.get());
   BP_ASSIGN_OR_RETURN(out->searcher_,
                       search::HistorySearcher::Open(*out->db_, *out->store_));
+
+  // Stand the async pipeline up LAST: its committer thread reaches into
+  // every member above from the moment it starts.
+  out->drain_before_query_ = options.async.drain_before_query;
+  if (options.async.enabled) {
+    capture::PipelineOptions popts;
+    popts.queue_capacity = options.async.queue_capacity;
+    popts.max_batch = out->ingest_batch_;
+    popts.backpressure = options.async.backpressure;
+    ProvenanceDb* raw = out.get();
+    out->async_sink_ = std::make_unique<capture::AsyncSink>(
+        [raw](const capture::BrowserEvent& event) {
+          util::Result<IngestTicket> ticket = raw->IngestAsync(event);
+          return ticket.ok() ? util::Status::Ok() : ticket.status();
+        });
+    out->pipeline_ = std::make_unique<capture::IngestPipeline>(
+        popts,
+        [raw](std::vector<capture::BrowserEvent>&& events, size_t backlog) {
+          return raw->CommitEventBatch(std::move(events), backlog);
+        },
+        [raw] { return raw->SyncPipeline(); });
+  }
   return out;
 }
 
-ProvenanceDb::~ProvenanceDb() = default;
+ProvenanceDb::~ProvenanceDb() {
+  // Join the committer (draining what it can) before any member it
+  // reaches into goes away.
+  pipeline_.reset();
+}
+
+// ------------------------------------------------------ async ingest
+
+Result<ProvenanceDb::IngestTicket> ProvenanceDb::IngestAsync(
+    const capture::BrowserEvent& event) {
+  if (pipeline_ == nullptr) {
+    return Status::FailedPrecondition(
+        "async ingest is disabled (Options::async.enabled = false)");
+  }
+  return pipeline_->Enqueue(event);
+}
+
+Status ProvenanceDb::Flush(IngestTicket ticket) {
+  if (pipeline_ == nullptr) return Status::Ok();  // nothing is buffered
+  return pipeline_->Flush(ticket);
+}
+
+Status ProvenanceDb::Drain() {
+  if (pipeline_ == nullptr) return Status::Ok();
+  return pipeline_->Drain();
+}
+
+Status ProvenanceDb::pipeline_status() const {
+  return pipeline_ == nullptr ? Status::Ok() : pipeline_->status();
+}
+
+capture::PipelineStats ProvenanceDb::pipeline_stats() const {
+  return pipeline_ == nullptr ? capture::PipelineStats{}
+                              : pipeline_->stats();
+}
+
+// Committer thread: one storage transaction for the whole batch. The
+// writer lock is held end to end, so no query can interleave — which is
+// why, unlike the user-facing Batch, a rollback here needs no searcher
+// index restore (nothing can have indexed the doomed pages).
+Result<bool> ProvenanceDb::CommitEventBatch(
+    std::vector<capture::BrowserEvent>&& events, size_t backlog) {
+  (void)backlog;  // batch size already adapted by the pipeline's pop
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  ProvStore::IngestBatch batch(*store_);
+  for (const capture::BrowserEvent& event : events) {
+    Status published = bus_.Publish(event);
+    if (!published.ok()) {
+      // ~IngestBatch rolls the whole transaction back: the batch is
+      // all-or-nothing, so a mid-batch sink failure never leaves a
+      // half-applied event group behind.
+      return published;
+    }
+  }
+  index_stale_ = true;
+  Status committed = batch.Commit();
+  if (!committed.ok()) {
+    // Commit marks the AutoTxn retired before the pager runs, so a
+    // failed pager commit leaves the transaction open; roll it back so
+    // the pager is usable when the sticky error is later cleared by a
+    // reopen.
+    if (db_->pager().InTransaction()) (void)db_->pager().Rollback();
+    return committed;
+  }
+  // Durable already? True when the commit filled and flushed the
+  // group-commit window (or the mode has no durability lag).
+  return db_->pager().durability() != storage::DurabilityMode::kWal ||
+         db_->pager().unsynced_commits() == 0;
+}
+
+Status ProvenanceDb::SyncPipeline() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return db_->pager().FlushPending().status();
+}
 
 Status ProvenanceDb::Ingest(const capture::BrowserEvent& event) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
@@ -92,6 +187,9 @@ Result<ProvenanceDb::SnapshotView> ProvenanceDb::BeginSnapshotLocked(
 }
 
 Result<ProvenanceDb::SnapshotView> ProvenanceDb::BeginSnapshot() {
+  // Read-your-writes: everything IngestAsync'd so far must be inside
+  // the frozen view (must run before the lock; the committer takes it).
+  MaybeDrainForQuery();
   std::lock_guard<std::recursive_mutex> lock(mu_);
   if (db_->pager().InTransaction()) {
     // A snapshot here could not keep the "fully searchable" promise:

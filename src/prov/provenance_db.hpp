@@ -14,19 +14,31 @@
 // next text-backed query re-indexes the new pages, so bursts of capture
 // never pay indexing latency inline.
 //
-// Concurrency model: ONE writer, N snapshot readers. Ingestion and the
-// one-shot query methods may be called from any thread (an internal
-// mutex serializes them), and every one-shot query under WAL durability
-// runs against a fresh snapshot — so queries from other threads never
-// observe a half-applied batch and never block behind each other, only
-// behind snapshot creation. For query bursts that should share one
-// consistent view (paging through results, multi-query forensics,
-// repeated TimeContext against one interval index), BeginSnapshot()
-// hands out a SnapshotView that pins the commit horizon once; its
-// queries run with NO locking at all, fully in parallel with ingestion
-// and each other (one SnapshotView per reader thread — the view itself
-// is single-threaded, the snapshot layer below is what's shared).
-// Destroy every SnapshotView before the ProvenanceDb.
+// Concurrency model: capture threads -> bounded queue -> ONE committer
+// thread, N snapshot readers. The preferred write path is IngestAsync:
+// a non-blocking enqueue into the ingest pipeline, whose background
+// committer coalesces pending events into adaptive batches — one
+// storage transaction each, group-committed under load, fsynced
+// immediately when the queue runs dry. Flush(ticket)/Drain() are the
+// durability barriers; read-your-writes for queries is preserved by
+// draining before one-shot queries and BeginSnapshot (see
+// Options::async.drain_before_query). The synchronous Ingest/IngestAll/
+// Batch path remains for callers that want commit-on-return semantics;
+// both paths serialize on the same internal writer mutex, so they
+// interleave at transaction granularity.
+//
+// One-shot query methods may be called from any thread, and every
+// one-shot query under WAL durability runs against a fresh snapshot —
+// so queries from other threads never observe a half-applied batch and
+// never block behind each other, only behind snapshot creation. For
+// query bursts that should share one consistent view (paging through
+// results, multi-query forensics, repeated TimeContext against one
+// interval index), BeginSnapshot() hands out a SnapshotView that pins
+// the commit horizon once; its queries run with NO locking at all,
+// fully in parallel with ingestion and each other (one SnapshotView per
+// reader thread — the view itself is single-threaded, the snapshot
+// layer below is what's shared). Destroy every SnapshotView before the
+// ProvenanceDb.
 //
 // The owned EventBus is exposed so additional sinks (e.g. the Places
 // baseline recorder used by the storage-overhead experiment) can ride
@@ -34,12 +46,14 @@
 // first error, keeping those streams identical.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "capture/bus.hpp"
+#include "capture/pipeline.hpp"
 #include "capture/recorders.hpp"
 #include "prov/prov_store.hpp"
 #include "search/history_search.hpp"
@@ -61,8 +75,30 @@ class ProvenanceDb {
     storage::DbOptions db;
     // Schema knobs (versioning policy, close-time recording).
     ProvOptions prov;
-    // Events per storage transaction in IngestAll.
+    // Events per storage transaction: IngestAll's chunk size AND the
+    // async committer's coalescing cap (PipelineOptions::max_batch).
     size_t ingest_batch = 256;
+
+    // Asynchronous ingest pipeline (IngestAsync / Flush / Drain).
+    struct AsyncOptions {
+      // When false, no committer thread is started and IngestAsync
+      // returns FailedPrecondition; the synchronous paths are
+      // unaffected.
+      bool enabled = true;
+      // Events the queue buffers before backpressure applies.
+      size_t queue_capacity = 4096;
+      // Full-queue policy: kBlock parks the capture thread (lossless);
+      // kReject returns BudgetExhausted without blocking.
+      capture::BackpressurePolicy backpressure =
+          capture::BackpressurePolicy::kBlock;
+      // Read-your-writes: one-shot queries and BeginSnapshot first
+      // drain the pipeline up to the last enqueued ticket, so an
+      // IngestAsync immediately followed by a query behaves like the
+      // synchronous path. Turn off to let queries run against whatever
+      // has committed (lower query latency under sustained ingest).
+      bool drain_before_query = true;
+    };
+    AsyncOptions async;
 
     Options() {
       db.durability = storage::DurabilityMode::kWal;
@@ -79,6 +115,45 @@ class ProvenanceDb {
   ProvenanceDb& operator=(const ProvenanceDb&) = delete;
 
   // ----------------------------------------------------- ingestion
+  //
+  // Two write paths share one committed stream:
+  //
+  //   IngestAsync  — non-blocking enqueue; the background committer
+  //                  batches, commits, and adaptively group-commits.
+  //                  This is the capture path: a browser thread pays a
+  //                  queue push, never a storage transaction.
+  //   Ingest/IngestAll/Batch — synchronous; committed (though with
+  //                  group commit not necessarily fsynced) on return.
+
+  // Ticket identifying one asynchronously ingested event; pass it to
+  // Flush to wait for durability. Tickets are dense and monotone.
+  using IngestTicket = capture::IngestPipeline::Ticket;
+
+  // Enqueues the event for the background committer and returns its
+  // ticket without touching storage. On a full queue the configured
+  // backpressure policy applies (block vs. BudgetExhausted). A prior
+  // committer failure is sticky and is returned here and from Flush —
+  // acknowledged events are never affected, unacknowledged events after
+  // the failure point are dropped, never silently half-applied.
+  util::Result<IngestTicket> IngestAsync(const capture::BrowserEvent& event);
+
+  // Blocks until every event up to `ticket` is durable (committed AND
+  // fsynced — stronger than synchronous Ingest under group commit).
+  // Do not call inside an open Batch: the committer needs the writer
+  // lock the Batch holds.
+  util::Status Flush(IngestTicket ticket);
+  // Barrier over everything enqueued so far: Flush(last ticket).
+  util::Status Drain();
+
+  // The sticky committer status (Ok until an async commit/sync failed).
+  util::Status pipeline_status() const;
+  // Queue-depth / coalescing counters (zeroed struct when async is off).
+  capture::PipelineStats pipeline_stats() const;
+  // An EventSink forwarding to IngestAsync — subscribe it to an external
+  // EventBus to feed capture straight into the pipeline (null when
+  // async is disabled). The PlacesRecorder comparison can ride the same
+  // external bus; this facade's own bus stays on the committer thread.
+  capture::EventSink* async_sink() { return async_sink_.get(); }
 
   // Publishes one event to every subscribed sink.
   util::Status Ingest(const capture::BrowserEvent& event);
@@ -101,7 +176,13 @@ class ProvenanceDb {
         : db_(db),
           lock_(db.mu_),
           watermark_(db.searcher_->indexed_watermark()),
-          inner_(*db.store_) {}
+          inner_(*db.store_) {
+      // While any user Batch is open, queries skip the read-your-writes
+      // drain: the committer needs mu_ (held right here) to make
+      // progress, so a same-thread drain would deadlock — and mid-batch
+      // queries want the live read-your-own-writes path anyway.
+      db_.user_batches_.fetch_add(1, std::memory_order_release);
+    }
     util::Status Commit() {
       util::Status status = inner_.Commit();
       committed_ = status.ok();
@@ -118,6 +199,7 @@ class ProvenanceDb {
       if (!committed_ && inner_.owns_transaction()) {
         db_.ScheduleIndexRestore(watermark_);
       }
+      db_.user_batches_.fetch_sub(1, std::memory_order_release);
     }
 
    private:
@@ -186,8 +268,10 @@ class ProvenanceDb {
     std::unique_ptr<search::HistorySearcher> searcher_;
   };
 
-  // Opens a snapshot of everything committed so far (refreshing the
-  // text index first, so the frozen view is fully searchable).
+  // Opens a snapshot of everything committed so far (draining the
+  // ingest pipeline first when drain_before_query is on, then
+  // refreshing the text index, so the frozen view is fully searchable
+  // and covers every event already IngestAsync'd).
   // FailedPrecondition in journal mode (it rewrites the database file
   // in place) and inside an open Batch (the index refresh would
   // compose into the uncommitted batch, leaving the view silently
@@ -268,15 +352,32 @@ class ProvenanceDb {
   // read-your-own-writes path).
   bool UseSnapshotQueriesLocked() const;
 
-  // The one-shot dispatch every query method shares: under the writer
-  // lock, either open a private snapshot and run `on_view` against it
-  // UNLOCKED (the concurrent path), or run `on_live` while still
-  // holding the lock (journal mode / mid-batch). Both callables return
-  // the same Result type; on_live is responsible for RefreshIndex when
-  // the query is text-backed.
+  // Read-your-writes for queries: drains the ingest pipeline so events
+  // already IngestAsync'd are committed before the query opens its
+  // view. Skipped when async is off, drain_before_query is off, or a
+  // user Batch is open (see Batch's constructor). A drain failure is
+  // the committer's sticky error — it surfaces on the next
+  // IngestAsync/Flush; the query proceeds against what committed.
+  void MaybeDrainForQuery() {
+    if (pipeline_ == nullptr || !drain_before_query_ ||
+        user_batches_.load(std::memory_order_acquire) > 0) {
+      return;
+    }
+    (void)pipeline_->Drain();
+  }
+
+  // The one-shot dispatch every query method shares: after the
+  // read-your-writes drain (which must happen BEFORE the lock — the
+  // committer takes mu_ per batch), under the writer lock either open a
+  // private snapshot and run `on_view` against it UNLOCKED (the
+  // concurrent path), or run `on_live` while still holding the lock
+  // (journal mode / mid-batch). Both callables return the same Result
+  // type; on_live is responsible for RefreshIndex when the query is
+  // text-backed.
   template <typename ViewFn, typename LiveFn>
   auto OneShot(bool with_searcher, ViewFn&& on_view, LiveFn&& on_live)
       -> decltype(on_live()) {
+    MaybeDrainForQuery();
     std::unique_lock<std::recursive_mutex> lock(mu_);
     if (UseSnapshotQueriesLocked()) {
       auto view = BeginSnapshotLocked(with_searcher);
@@ -303,6 +404,22 @@ class ProvenanceDb {
   // Watermark to rewind the searcher to before the next re-index
   // (UINT64_MAX = nothing pending); set by rolled-back Batches.
   graph::NodeId restore_watermark_ = UINT64_MAX;
+
+  // --- async ingest pipeline ---------------------------------------
+  // The committer-thread callbacks behind the pipeline: one storage
+  // transaction per event batch, and the adaptive group close.
+  util::Result<bool> CommitEventBatch(
+      std::vector<capture::BrowserEvent>&& events, size_t backlog);
+  util::Status SyncPipeline();
+
+  bool drain_before_query_ = true;
+  // Open user Batches (writer lock held by a user thread); > 0 makes
+  // MaybeDrainForQuery a no-op.
+  std::atomic<int> user_batches_{0};
+  std::unique_ptr<capture::AsyncSink> async_sink_;
+  // Declared last (and reset first in the destructor): joining the
+  // committer must happen while every member it reaches into is alive.
+  std::unique_ptr<capture::IngestPipeline> pipeline_;
 };
 
 }  // namespace bp::prov

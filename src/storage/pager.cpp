@@ -266,6 +266,11 @@ Status Pager::RecoverFromWal() {
 
 Status Pager::SyncWal() {
   if (wal_ == nullptr) return Status::Ok();
+  // A window retiring >= 1 committed transaction is one group commit,
+  // whether it filled to the ceiling or was closed early (FlushPending,
+  // checkpoint, close). Counted even with sync=false so benches that
+  // model fsync cost elsewhere still see the grouping behavior.
+  if (wal_unsynced_commits_ > 0) ++stats_.group_commits;
   if (!options_.sync) {
     wal_unsynced_commits_ = 0;
     return Status::Ok();
@@ -280,6 +285,12 @@ Status Pager::SyncWal() {
     stats_.bytes_synced += made_durable;
   }
   return Status::Ok();
+}
+
+Result<bool> Pager::FlushPending() {
+  if (wal_ == nullptr || wal_unsynced_commits_ == 0) return false;
+  BP_RETURN_IF_ERROR(SyncWal());
+  return true;
 }
 
 Status Pager::Checkpoint() {

@@ -83,9 +83,12 @@ struct PagerOptions {
   // When false, skips fsync (faster tests/benches; crash safety off).
   bool sync = true;
   DurabilityMode durability = DurabilityMode::kRollbackJournal;
-  // kWal only: number of committed transactions that share one log fsync.
-  // 1 = every commit is durable on return; N > 1 trades a bounded
-  // durability lag (never consistency) for N× fewer fsyncs.
+  // kWal only: CEILING on the number of committed transactions that
+  // share one log fsync. 1 = every commit is durable on return; N > 1
+  // trades a bounded durability lag (never consistency) for up to N×
+  // fewer fsyncs. Commit fsyncs when the window fills; a caller that
+  // knows the write stream went idle closes a partial window early with
+  // FlushPending() (the async ingest committer's adaptive group commit).
   uint32_t wal_group_commit = 1;
   // kWal only: checkpoint (fold log into the database file) once the log
   // exceeds this size.
@@ -108,6 +111,11 @@ struct PagerStats {
   // kWal only.
   uint64_t wal_frames = 0;   // page images appended to the log
   uint64_t checkpoints = 0;  // threshold + close-time folds
+  // Group-commit windows closed (each retired >= 1 committed txn): by
+  // filling the wal_group_commit ceiling, by FlushPending/SyncWal, or
+  // at checkpoint/close. fsyncs / group_commits is the amortization the
+  // window actually achieved.
+  uint64_t group_commits = 0;
 };
 
 class Pager;
@@ -205,6 +213,19 @@ class Pager {
   // filled group-commit window) without waiting for the window to fill.
   // No-op in journal mode or when nothing is pending.
   util::Status SyncWal();
+
+  // Adaptive group-commit hook: closes a partially filled window ONLY
+  // when committed transactions are actually awaiting fsync, and says
+  // so. The async ingest committer calls this whenever its queue runs
+  // dry, which collapses tail latency at low event rates while the
+  // wal_group_commit ceiling still amortizes fsyncs under load. Returns
+  // whether a flush ran (false: journal mode or nothing pending).
+  util::Result<bool> FlushPending();
+
+  // Committed transactions whose log records await the next fsync
+  // (always 0 in journal mode, where every commit is durable on
+  // return). Writer thread only.
+  uint32_t unsynced_commits() const { return wal_unsynced_commits_; }
 
   // kWal only: forces a checkpoint now (normally driven by
   // wal_checkpoint_bytes and clean close). FailedPrecondition when a

@@ -354,6 +354,56 @@ TEST_F(ProvenanceDbTest, ConcurrentReadersDuringIngest) {
   EXPECT_GT(queries.load(), 0u);
 }
 
+TEST_F(ProvenanceDbTest, AsyncIngestMatchesSynchronousIngest) {
+  // The same session through both write paths lands in the same state:
+  // IngestAsync + Drain is IngestAll minus the capture-thread stall.
+  uint64_t dl_sync = IngestRosebudSession();
+
+  storage::MemEnv async_env;
+  ProvenanceDb::Options options;
+  options.db.env = &async_env;
+  auto async_db = ProvenanceDb::Open("facade-async.db", options);
+  ASSERT_TRUE(async_db.ok());
+  sim::ScenarioBuilder s;
+  uint64_t search = s.Search(1, "rosebud");
+  s.Wait(util::Seconds(1));
+  uint64_t results =
+      s.Visit(1, "https://search.example/results?q=rosebud",
+              "rosebud - search results",
+              capture::NavigationAction::kSearchResult, 0, search);
+  s.Wait(util::Seconds(5));
+  uint64_t kane = s.Visit(1, "http://films.example/citizen-kane",
+                          "citizen kane 1941 film",
+                          capture::NavigationAction::kLink, results);
+  s.Wait(util::Seconds(5));
+  uint64_t dl = s.Download("http://films.example/kane-script.pdf",
+                           "/downloads/kane-script.pdf", kane);
+  for (const auto& event : s.events()) {
+    ASSERT_TRUE((*async_db)->IngestAsync(event).ok());
+  }
+  ASSERT_TRUE((*async_db)->Drain().ok());
+
+  EXPECT_EQ(*(*async_db)->store().NodeCount(), *db_->store().NodeCount());
+  EXPECT_EQ(*(*async_db)->store().EdgeCount(), *db_->store().EdgeCount());
+  auto sync_hits = db_->Search("rosebud");
+  auto async_hits = (*async_db)->Search("rosebud");
+  ASSERT_TRUE(sync_hits.ok());
+  ASSERT_TRUE(async_hits.ok());
+  ASSERT_EQ(async_hits->pages.size(), sync_hits->pages.size());
+  for (size_t i = 0; i < sync_hits->pages.size(); ++i) {
+    EXPECT_EQ(async_hits->pages[i].url, sync_hits->pages[i].url);
+  }
+  search::LineageOptions lineage_options;
+  lineage_options.min_visit_count = 1;
+  auto sync_trace = db_->TraceDownload(
+      db_->recorder().download_map().at(dl_sync), lineage_options);
+  auto async_trace = (*async_db)->TraceDownload(
+      (*async_db)->recorder().download_map().at(dl), lineage_options);
+  ASSERT_TRUE(sync_trace.ok());
+  ASSERT_TRUE(async_trace.ok());
+  EXPECT_EQ(async_trace->path.size(), sync_trace->path.size());
+}
+
 TEST_F(ProvenanceDbTest, ExtraSinksRideTheSameStream) {
   // The Places baseline subscribes to the facade's bus and sees exactly
   // the ingested stream — the setup of the storage-overhead experiment.

@@ -318,7 +318,40 @@ TEST(PagerWalTest, GroupCommitDefersFsyncAcrossWindow) {
   auto id = (*pager)->Allocate();
   ASSERT_TRUE(id.ok());
   ASSERT_TRUE((*pager)->Commit().ok());
-  // The 8th commit filled the window: exactly one fsync for all eight.
+  // The 8th commit filled the window: exactly one fsync for all eight,
+  // counted as one group commit.
+  EXPECT_EQ((*pager)->stats().fsyncs, baseline + 1);
+  EXPECT_EQ((*pager)->stats().group_commits, 1u);
+  EXPECT_EQ((*pager)->unsynced_commits(), 0u);
+}
+
+TEST(PagerWalTest, FlushPendingClosesAPartialGroupEarly) {
+  MemEnv env;
+  PagerOptions opts = WalPagerOptions(&env);
+  opts.wal_group_commit = 8;  // ceiling, not cadence
+  auto pager = Pager::Open("db", opts);
+  ASSERT_TRUE(pager.ok());
+  uint64_t baseline = (*pager)->stats().fsyncs;
+  for (int t = 0; t < 3; ++t) {
+    ASSERT_TRUE((*pager)->Begin().ok());
+    auto id = (*pager)->Allocate();
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE((*pager)->Commit().ok());
+  }
+  // 3 commits in an 8-wide window: nothing synced yet.
+  EXPECT_EQ((*pager)->stats().fsyncs, baseline);
+  EXPECT_EQ((*pager)->unsynced_commits(), 3u);
+  // The idle hook closes the partial window now (one fsync, one group).
+  auto flushed = (*pager)->FlushPending();
+  ASSERT_TRUE(flushed.ok());
+  EXPECT_TRUE(*flushed);
+  EXPECT_EQ((*pager)->stats().fsyncs, baseline + 1);
+  EXPECT_EQ((*pager)->stats().group_commits, 1u);
+  EXPECT_EQ((*pager)->unsynced_commits(), 0u);
+  // Nothing pending: the hook reports it did not sync.
+  flushed = (*pager)->FlushPending();
+  ASSERT_TRUE(flushed.ok());
+  EXPECT_FALSE(*flushed);
   EXPECT_EQ((*pager)->stats().fsyncs, baseline + 1);
 }
 
