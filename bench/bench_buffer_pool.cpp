@@ -1,0 +1,164 @@
+// E14 — Versioned buffer pool microbenchmarks.
+//
+// The shared pool is the hot path of every snapshot read, so its raw
+// costs matter: a hit must be cheap enough to beat re-reading a page
+// from the OS, eviction must be O(evicted), and the striped locks must
+// actually let concurrent readers through. Four sections:
+//
+//   hit          — resident set, 100% hits (the steady state of a warm
+//                  read path);
+//   miss+insert  — unique keys forever, constant eviction at budget
+//                  (cold scans / thrash floor);
+//   pin churn    — hit + hold + release, with a pinned working set the
+//                  evictor must skip (live PageView traffic);
+//   contention   — 1/2/4/8 threads hammering one pool, uniform keys
+//                  (shared-shard scaling; the per-snapshot caches this
+//                  pool replaced serialized every reader on one mutex).
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "storage/buffer_pool.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bp;
+  using namespace bp::bench;
+  using storage::BufferPool;
+  using storage::BufferPoolStats;
+  using storage::kPageSize;
+  using storage::PageImageKey;
+  Init(argc, argv, "bench_buffer_pool");
+
+  Header("E14", "shared buffer pool: hit/miss/eviction/pin/contention",
+         "(engineering bench; pool must outrun per-snapshot caches)");
+
+  const uint64_t scale = State().smoke ? 1 : 8;
+  auto image = [](char fill) {
+    return std::make_shared<const std::string>(kPageSize, fill);
+  };
+  auto key = [](uint64_t i) {
+    return PageImageKey{/*owner=*/1, static_cast<storage::PageId>(i),
+                        /*generation=*/0, /*offset=*/i * 16};
+  };
+
+  // ------------------------------------------------------------- hits
+  {
+    const uint64_t kResident = 1024;
+    const uint64_t kLookups = scale * 2'000'000;
+    BufferPool pool(kResident * 2 * kPageSize);
+    for (uint64_t i = 0; i < kResident; ++i) {
+      (void)pool.Insert(key(i), image('r'));
+    }
+    util::Stopwatch watch;
+    uint64_t found = 0;
+    for (uint64_t i = 0; i < kLookups; ++i) {
+      found += pool.Lookup(key(i % kResident)) != nullptr;
+    }
+    const double ms = watch.ElapsedMs();
+    BP_CHECK(found == kLookups, "every resident lookup must hit");
+    const double per_sec = 1000.0 * static_cast<double>(kLookups) / ms;
+    Row("hit:         %9llu lookups in %7.1f ms  (%12.0f hits/s)",
+        (unsigned long long)kLookups, ms, per_sec);
+    Metric("hit_lookups_per_sec", per_sec);
+  }
+
+  // ----------------------------------------------------- miss + insert
+  {
+    const uint64_t kInserts = scale * 200'000;
+    BufferPool pool(BufferPool::kShards * 16 * kPageSize);
+    util::Stopwatch watch;
+    for (uint64_t i = 0; i < kInserts; ++i) {
+      // One image per insert: the allocation is part of the real miss
+      // path (and a shared payload would read as pinned to the evictor).
+      (void)pool.Insert(key(i), image('m'));
+    }
+    const double ms = watch.ElapsedMs();
+    BufferPoolStats stats = pool.stats();
+    const double per_sec = 1000.0 * static_cast<double>(kInserts) / ms;
+    Row("miss+insert: %9llu inserts in %7.1f ms  (%12.0f inserts/s, "
+        "%llu evictions)",
+        (unsigned long long)kInserts, ms, per_sec,
+        (unsigned long long)stats.evictions);
+    BP_CHECK(stats.evictions > 0, "budget must have forced eviction");
+    BP_CHECK(stats.bytes <= pool.byte_budget(),
+             "insert path must hold the byte budget");
+    Metric("insert_evict_per_sec", per_sec);
+    Metric("insert_evictions", static_cast<double>(stats.evictions));
+  }
+
+  // --------------------------------------------------------- pin churn
+  {
+    const uint64_t kOps = scale * 1'000'000;
+    const uint64_t kResident = 512;
+    BufferPool pool(kResident * kPageSize);  // tight: evictor runs often
+    std::vector<std::shared_ptr<const std::string>> pins;
+    for (uint64_t i = 0; i < kResident / 2; ++i) {
+      pins.push_back(pool.Insert(key(i), image('p')));  // pinned half
+    }
+    util::Stopwatch watch;
+    std::shared_ptr<const std::string> held;
+    for (uint64_t i = 0; i < kOps; ++i) {
+      const uint64_t k = kResident / 2 + i % kResident;  // unpinned keys
+      held = pool.Lookup(key(k));
+      if (held == nullptr) held = pool.Insert(key(k), image('c'));
+      // `held` drops at the next iteration: a one-op pin lifetime.
+    }
+    const double ms = watch.ElapsedMs();
+    BufferPoolStats stats = pool.stats();
+    for (auto& pin : pins) {
+      BP_CHECK(pin != nullptr && pin->front() == 'p',
+               "pinned images must survive the churn");
+    }
+    const double per_sec = 1000.0 * static_cast<double>(kOps) / ms;
+    Row("pin churn:   %9llu ops     in %7.1f ms  (%12.0f ops/s, "
+        "%llu pinned skips)",
+        (unsigned long long)kOps, ms, per_sec,
+        (unsigned long long)stats.pinned_skips);
+    Metric("pin_churn_ops_per_sec", per_sec);
+  }
+
+  // -------------------------------------------------------- contention
+  {
+    Blank();
+    Row("contention (uniform keys over a resident set, lookup-or-insert):");
+    const uint64_t kResident = 4096;
+    const uint64_t kOpsPerThread = scale * 500'000;
+    double ops_at_1 = 0;
+    for (int threads : {1, 2, 4, 8}) {
+      BufferPool pool(kResident * 2 * kPageSize);
+      for (uint64_t i = 0; i < kResident; ++i) {
+        (void)pool.Insert(key(i), image('s'));
+      }
+      std::atomic<uint64_t> bad{0};
+      std::vector<std::thread> workers;
+      workers.reserve(threads);
+      util::Stopwatch watch;
+      for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+          // Per-thread stride decorrelates the walks without RNG cost.
+          uint64_t at = static_cast<uint64_t>(t) * 7919;
+          for (uint64_t i = 0; i < kOpsPerThread; ++i) {
+            at = (at + 12289) % kResident;
+            if (pool.Lookup(key(at)) == nullptr) bad.fetch_add(1);
+          }
+        });
+      }
+      for (std::thread& w : workers) w.join();
+      const double ms = watch.ElapsedMs();
+      BP_CHECK(bad.load() == 0, "resident set must stay resident");
+      const double total =
+          static_cast<double>(kOpsPerThread) * threads;
+      const double per_sec = 1000.0 * total / ms;
+      if (threads == 1) ops_at_1 = per_sec;
+      Row("  %d thread%s: %12.0f lookups/s  (%.2fx single-thread)",
+          threads, threads == 1 ? " " : "s", per_sec,
+          ops_at_1 > 0 ? per_sec / ops_at_1 : 0.0);
+      Metric(util::StrFormat("contention_lookups_per_sec_%d", threads),
+             per_sec);
+    }
+  }
+
+  return Finish();
+}

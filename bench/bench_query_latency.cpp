@@ -9,6 +9,7 @@
 // repeats with a 200ms QueryBudget to demonstrate the bound (anytime
 // results, truncated flag instead of overrun).
 #include "bench/common.hpp"
+#include "prov/provenance_db.hpp"
 #include "search/lineage.hpp"
 #include "search/personalize.hpp"
 #include "search/time_context.hpp"
@@ -218,6 +219,130 @@ int main(int argc, char** argv) {
     Metric("edge_iter_cursor_edges_per_sec", cursor_eps);
     Metric("edge_iter_cursor_speedup",
            cursor_ms > 0 ? callback_ms / cursor_ms : 0.0);
+  }
+
+  // ---- Shared buffer pool: repeated one-shot queries, cold open.
+  //
+  // Under WAL durability every one-shot facade query opens a fresh
+  // snapshot. Before the shared pool, each snapshot carried a private
+  // copy-on-read cache, so EVERY query cold-read its working set from
+  // the database; with the pool, only the first touch of a page image
+  // pays storage — successive queries run warm no matter how many
+  // snapshots come and go.
+  //
+  // Modeled like the paper's forensics pattern: ingest a history, CLOSE
+  // it, reopen the file cold, and interrogate it with repeated one-shot
+  // queries. Reads are charged kColdReadUs per page (MemEnv read-cost
+  // model, same device-time technique as bench_wal_commit's fsync cost
+  // and E12's kModeledSync) — an NVMe-class cache-cold 4 KiB read; a
+  // laptop SSD or a spinning disk is slower, so the pool's win here is
+  // the conservative end. Acceptance: warm passes >= 2x the cold /
+  // per-snapshot baseline.
+  {
+    constexpr uint32_t kColdReadUs = 20;
+    Blank();
+    Row("one-shot facade queries, repeated (WAL, cold-open history,");
+    Row("modeled %u us/page cold reads):", kColdReadUs);
+    const int kPasses = 3;
+    struct OneShotRun {
+      std::vector<double> pass_ms;
+      uint64_t pool_hits = 0;
+      uint64_t pool_misses = 0;
+      uint64_t pages_fetched = 0;
+    };
+    auto run_config = [&](size_t pool_bytes) {
+      storage::MemEnv env;
+      prov::ProvenanceDb::Options options;
+      options.db.env = &env;
+      options.db.sync = false;  // measuring the read path, not fsync
+      options.db.durability = storage::DurabilityMode::kWal;
+      options.db.pool_bytes = pool_bytes;
+
+      std::vector<std::string> qs(
+          queries.begin(),
+          queries.begin() + std::min<size_t>(queries.size(), 16));
+      std::vector<prov::NodeId> dls;
+      {
+        // Build the history, then close it cleanly (folds the WAL).
+        auto writer = MustOk(prov::ProvenanceDb::Open("oneshot.db", options),
+                             "open one-shot writer");
+        MustOk(writer->IngestAll(fx->out.events), "one-shot ingest");
+        for (const auto& episode : fx->out.downloads) {
+          auto it =
+              writer->recorder().download_map().find(episode.download_id);
+          if (it != writer->recorder().download_map().end()) {
+            dls.push_back(it->second);
+          }
+          if (dls.size() >= 16) break;
+        }
+        // Build the text index before closing so reopened queries need
+        // no writes (the forensics reader interrogates, never ingests).
+        MustOk(writer->Search(qs.empty() ? "page" : qs[0]).status(),
+               "index build");
+      }
+
+      // Reopen cold: empty caches, empty pool, device-priced reads.
+      env.set_read_cost_us(kColdReadUs);
+      auto db = MustOk(prov::ProvenanceDb::Open("oneshot.db", options),
+                       "reopen one-shot facade");
+      OneShotRun run;
+      for (int pass = 0; pass < kPasses; ++pass) {
+        util::Stopwatch watch;
+        for (const std::string& q : qs) {
+          MustOk(db->Search(q).status(), "one-shot search");
+        }
+        for (prov::NodeId dl : dls) {
+          MustOk(db->TraceDownload(dl).status(), "one-shot lineage");
+        }
+        run.pass_ms.push_back(watch.ElapsedMs());
+      }
+      storage::PagerStats stats = db->storage_stats();
+      run.pool_hits = stats.pool_hits;
+      run.pool_misses = stats.pool_misses;
+      run.pages_fetched = stats.snapshot_pages_read;
+      return run;
+    };
+
+    OneShotRun private_cache = run_config(/*pool_bytes=*/0);
+    OneShotRun pooled = run_config(/*pool_bytes=*/size_t{256} << 20);
+
+    // Per-snapshot baseline: its best (min) pass — most favorable to
+    // the old design (every pass re-reads, so they are all "warm" in
+    // the only sense that design supports). Warm: the pool's best
+    // post-cold pass.
+    double baseline_ms = private_cache.pass_ms[0];
+    for (double ms : private_cache.pass_ms) {
+      baseline_ms = std::min(baseline_ms, ms);
+    }
+    const double cold_ms = pooled.pass_ms[0];
+    double warm_ms = pooled.pass_ms[1];
+    for (size_t i = 1; i < pooled.pass_ms.size(); ++i) {
+      warm_ms = std::min(warm_ms, pooled.pass_ms[i]);
+    }
+    // The cold/per-snapshot baseline IS the old design: with a private
+    // cache per snapshot, every one-shot query re-reads its working
+    // set, so every pass is as cold as the first. Pass 1 of the pooled
+    // run is already partially warm — queries within the pass share
+    // frames from the moment the first query faulted them in — which is
+    // exactly the effect being measured.
+    Row("  cold / per-snapshot baseline:  best pass %8.1f ms", baseline_ms);
+    Row("  shared pool, pass 1 (filling):            %8.1f ms", cold_ms);
+    Row("  shared pool, warm passes:                 %8.1f ms", warm_ms);
+    Row("  warm speedup vs cold baseline: %.2fx (acceptance: >= 2x)",
+        warm_ms > 0 ? baseline_ms / warm_ms : 0.0);
+    Row("  warm speedup vs pass 1:        %.2fx", warm_ms > 0 ? cold_ms / warm_ms : 0.0);
+    Row("  pool: %llu hits, %llu misses over %d passes "
+        "(baseline re-fetched %llu pages)",
+        (unsigned long long)pooled.pool_hits,
+        (unsigned long long)pooled.pool_misses, kPasses,
+        (unsigned long long)private_cache.pages_fetched);
+    Metric("oneshot_cold_baseline_ms", baseline_ms);
+    Metric("oneshot_pool_pass1_ms", cold_ms);
+    Metric("oneshot_pool_warm_ms", warm_ms);
+    Metric("oneshot_warm_speedup",
+           warm_ms > 0 ? baseline_ms / warm_ms : 0.0);
+    Metric("oneshot_pool_hits", static_cast<double>(pooled.pool_hits));
+    Metric("oneshot_pool_misses", static_cast<double>(pooled.pool_misses));
   }
 
   Blank();

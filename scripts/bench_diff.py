@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Gate bench results against a committed baseline.
+
+Every bench writes BENCH_<name>.json (--json). CI smoke-runs the whole
+suite, then this script compares the results against the snapshot
+committed under bench/baseline/ and FAILS the job when any TRACKED
+metric regresses by more than --max-regression (relative).
+
+Tracked metrics are listed in bench/baseline/tracked.json:
+
+    { "<bench>": { "<metric>": "higher" | "lower", ... }, ... }
+
+where the value says which direction is better. Only metrics that are
+deterministic under the seeded simulation (structural counters, hit
+counts, byte sizes, fsync counts) belong there — wall-clock numbers
+vary across runners and are DIFFED for the log but never gated.
+
+Exit codes: 0 clean, 1 regression / missing tracked data, 2 usage.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_results(directory):
+    results = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        with open(path) as f:
+            data = json.load(f)
+        results[data["bench"]] = data["metrics"]
+    return results
+
+
+def fmt(value):
+    return f"{value:.6g}"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="directory with baseline BENCH_*.json + tracked.json")
+    parser.add_argument("--current", required=True,
+                        help="directory with this run's BENCH_*.json")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="relative regression tolerance (default 0.25)")
+    args = parser.parse_args()
+
+    tracked_path = os.path.join(args.baseline, "tracked.json")
+    if not os.path.exists(tracked_path):
+        print(f"bench_diff: no {tracked_path}", file=sys.stderr)
+        return 2
+    with open(tracked_path) as f:
+        # Keys starting with "_" are commentary, not bench names.
+        tracked = {bench: metrics
+                   for bench, metrics in json.load(f).items()
+                   if not bench.startswith("_")}
+
+    baseline = load_results(args.baseline)
+    current = load_results(args.current)
+    tolerance = args.max_regression
+
+    failures = []
+    print(f"{'bench/metric':56} {'baseline':>12} {'current':>12} "
+          f"{'delta':>8}  gate")
+    for bench in sorted(set(baseline) | set(current)):
+        gated = tracked.get(bench, {})
+        base_metrics = baseline.get(bench)
+        cur_metrics = current.get(bench)
+        if base_metrics is None:
+            print(f"{bench:56} {'-':>12} {'(new)':>12} {'-':>8}  info")
+            continue
+        if cur_metrics is None:
+            if gated:
+                failures.append(f"{bench}: result file missing from current run")
+            continue
+        for metric in sorted(set(base_metrics) | set(cur_metrics)):
+            name = f"{bench}/{metric}"
+            base = base_metrics.get(metric)
+            cur = cur_metrics.get(metric)
+            direction = gated.get(metric)
+            if cur is None:
+                if direction is not None:
+                    failures.append(f"{name}: tracked metric disappeared")
+                continue
+            if base is None:
+                print(f"{name:56} {'-':>12} {fmt(cur):>12} {'-':>8}  new")
+                continue
+            delta = (cur - base) / base if base != 0 else float("inf")
+            if direction is None:
+                print(f"{name:56} {fmt(base):>12} {fmt(cur):>12} "
+                      f"{delta:+7.1%}  info")
+                continue
+            if direction == "higher":
+                regressed = cur < base * (1.0 - tolerance)
+            elif direction == "lower":
+                regressed = cur > base * (1.0 + tolerance)
+            else:
+                failures.append(f"{name}: bad direction {direction!r}")
+                continue
+            verdict = "FAIL" if regressed else "ok"
+            print(f"{name:56} {fmt(base):>12} {fmt(cur):>12} "
+                  f"{delta:+7.1%}  {verdict}")
+            if regressed:
+                failures.append(
+                    f"{name}: {fmt(base)} -> {fmt(cur)} "
+                    f"({delta:+.1%}, tolerance {tolerance:.0%}, "
+                    f"{direction} is better)")
+
+    # A tracked bench that produced no baseline file is a configuration
+    # error worth failing loudly on.
+    for bench in tracked:
+        if bench not in baseline:
+            failures.append(f"{bench}: tracked but no baseline file committed")
+
+    if failures:
+        print("\nbench_diff: REGRESSIONS", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nbench_diff: all tracked metrics within "
+          f"{tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

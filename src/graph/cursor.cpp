@@ -10,10 +10,16 @@ using util::Result;
 using util::Status;
 
 std::string QueryStats::ToString() const {
-  return util::StrFormat(
+  std::string out = util::StrFormat(
       "rows=%llu edges=%llu nodes=%llu budget=%llu",
       (unsigned long long)rows_scanned, (unsigned long long)edges_expanded,
       (unsigned long long)nodes_visited, (unsigned long long)budget_used);
+  if (pool_hits > 0 || pages_fetched > 0) {
+    out += util::StrFormat(" pool_hits=%llu pages_fetched=%llu",
+                           (unsigned long long)pool_hits,
+                           (unsigned long long)pages_fetched);
+  }
+  return out;
 }
 
 // ------------------------------------------------------------- EdgeRef

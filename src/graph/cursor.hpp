@@ -61,12 +61,20 @@ struct QueryStats {
   uint64_t edges_expanded = 0;  // edges considered by traversal logic
   uint64_t nodes_visited = 0;   // nodes popped/visited by traversals
   uint64_t budget_used = 0;     // QueryBudget units charged
+  // Page-level cost under WAL snapshot reads: images served from the
+  // shared buffer pool vs. fetched from the log/database file. Zero on
+  // the live (journal / mid-batch) path, where pages go through the
+  // writer cache instead (PagerStats).
+  uint64_t pool_hits = 0;
+  uint64_t pages_fetched = 0;   // pool misses: log/database file reads
 
   QueryStats& operator+=(const QueryStats& other) {
     rows_scanned += other.rows_scanned;
     edges_expanded += other.edges_expanded;
     nodes_visited += other.nodes_visited;
     budget_used += other.budget_used;
+    pool_hits += other.pool_hits;
+    pages_fetched += other.pages_fetched;
     return *this;
   }
   std::string ToString() const;

@@ -203,6 +203,28 @@ Result<ProvenanceDb::SnapshotView> ProvenanceDb::BeginSnapshot() {
   return BeginSnapshotLocked(/*with_searcher=*/true);
 }
 
+namespace {
+
+// Runs `fn` and folds the page-level work the snapshot performed during
+// it (shared-pool hits vs. log/database fetches) into the result's
+// QueryStats. Deltas, not totals, so attribution stays per-query even
+// on a long-lived SnapshotView answering many queries.
+template <typename Fn>
+auto WithPageStats(const storage::Snapshot& snap, Fn&& fn)
+    -> decltype(fn()) {
+  const storage::SnapshotStats before = snap.stats();
+  auto result = fn();
+  if (result.ok()) {
+    const storage::SnapshotStats after = snap.stats();
+    result.value().stats.pool_hits += after.pool_hits - before.pool_hits;
+    result.value().stats.pages_fetched +=
+        after.pages_read - before.pages_read;
+  }
+  return result;
+}
+
+}  // namespace
+
 // One-shot queries use a private snapshot when one is available AND
 // honest: WAL durability only (journal mode rewrites the database file
 // in place), and not inside an open Batch — a snapshot excludes the
@@ -217,36 +239,47 @@ bool ProvenanceDb::UseSnapshotQueriesLocked() const {
 Result<search::ContextualSearchResult> ProvenanceDb::SnapshotView::Search(
     const std::string& query,
     const search::ContextualSearchOptions& options) {
-  return searcher_->ContextualSearch(query, options);
+  return WithPageStats(*snap_, [&] {
+    return searcher_->ContextualSearch(query, options);
+  });
 }
 
 Result<search::ContextualSearchResult>
 ProvenanceDb::SnapshotView::TextualSearch(const std::string& query,
                                           size_t k) {
-  return searcher_->TextualSearch(query, k);
+  return WithPageStats(*snap_,
+                       [&] { return searcher_->TextualSearch(query, k); });
 }
 
 Result<search::PersonalizationResult> ProvenanceDb::SnapshotView::Personalize(
     const std::string& query, const search::PersonalizeOptions& options) {
-  return search::PersonalizeQuery(*searcher_, query, options);
+  return WithPageStats(*snap_, [&] {
+    return search::PersonalizeQuery(*searcher_, query, options);
+  });
 }
 
 Result<search::TimeContextResult> ProvenanceDb::SnapshotView::TimeContext(
     const std::string& primary_query, const std::string& context_query,
     const search::TimeContextOptions& options) {
-  return search::TimeContextualSearch(*searcher_, primary_query,
-                                      context_query, options);
+  return WithPageStats(*snap_, [&] {
+    return search::TimeContextualSearch(*searcher_, primary_query,
+                                        context_query, options);
+  });
 }
 
 Result<search::LineageReport> ProvenanceDb::SnapshotView::TraceDownload(
     graph::NodeId download, const search::LineageOptions& options) {
-  return search::TraceDownload(*store_, download, options);
+  return WithPageStats(*snap_, [&] {
+    return search::TraceDownload(*store_, download, options);
+  });
 }
 
 Result<search::DescendantReport>
 ProvenanceDb::SnapshotView::DescendantDownloads(
     const std::string& url, const search::LineageOptions& options) {
-  return search::DescendantDownloads(*store_, url, options);
+  return WithPageStats(*snap_, [&] {
+    return search::DescendantDownloads(*store_, url, options);
+  });
 }
 
 graph::EdgeCursor ProvenanceDb::SnapshotView::Edges(

@@ -69,9 +69,14 @@ namespace bp::prov {
 class ProvenanceDb {
  public:
   struct Options {
-    // Storage knobs (env, cache, durability). The default WAL + group
-    // commit configuration is the sustained-capture path; pass a MemEnv
-    // via db.env for tests and examples.
+    // Storage knobs (env, cache, durability, buffer pool). The default
+    // WAL + group commit configuration is the sustained-capture path;
+    // pass a MemEnv via db.env for tests and examples. The shared
+    // versioned buffer pool behind every snapshot read is sized by
+    // db.pool_bytes (0 disables it; db.buffer_pool shares one pool —
+    // one global byte budget — across several databases). Hit/miss
+    // counters surface through storage_stats() and per-query
+    // QueryStats.
     storage::DbOptions db;
     // Schema knobs (versioning policy, close-time recording).
     ProvOptions prov;
@@ -319,6 +324,16 @@ class ProvenanceDb {
   // Use case 2.4: all downloads descending from an (untrusted) page.
   util::Result<search::DescendantReport> DescendantDownloads(
       const std::string& url, const search::LineageOptions& options = {});
+
+  // ------------------------------------------------------ statistics
+  //
+  // One coherent storage counter set: commits, cache and buffer-pool
+  // hit/miss/eviction counts, resident pool bytes, WAL/fsync cost (see
+  // storage::PagerStats). Cheap; safe from any thread.
+  storage::PagerStats storage_stats() {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return db_->pager().stats();
+  }
 
   // --------------------------------------------------- layer access
   //

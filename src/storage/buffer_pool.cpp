@@ -1,0 +1,177 @@
+#include "storage/buffer_pool.hpp"
+
+#include "util/hash.hpp"
+#include "util/require.hpp"
+
+namespace bp::storage {
+
+namespace {
+
+struct KeyHash {
+  size_t operator()(const PageImageKey& key) const {
+    // Mix64 gives full avalanche, so ShardFor's low bits are not at the
+    // mercy of aligned offsets the way a plain xor-multiply would be.
+    uint64_t h = util::HashCombine(
+        (uint64_t{key.owner} << 32) | key.generation,
+        (uint64_t{key.id} << 1) | (key.offset == kMainFileImage));
+    return static_cast<size_t>(util::HashCombine(h, key.offset));
+  }
+};
+
+}  // namespace
+
+struct BufferPool::Shard {
+  std::mutex mu;
+  std::unordered_map<PageImageKey, std::unique_ptr<Frame>, KeyHash> frames;
+  Frame lru;  // sentinel: lru.next = MRU, lru.prev = coldest
+  uint64_t bytes = 0;
+  // Counters are guarded by mu (stats() locks each shard in turn).
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t reinserts = 0;
+  uint64_t evictions = 0;
+  uint64_t pinned_skips = 0;
+
+  Shard() {
+    lru.prev = &lru;
+    lru.next = &lru;
+  }
+};
+
+BufferPool::BufferPool(size_t byte_budget)
+    : byte_budget_(byte_budget),
+      shard_budget_(byte_budget / kShards),
+      shards_(new Shard[kShards]) {}
+
+BufferPool::~BufferPool() = default;
+
+uint32_t BufferPool::NextOwnerId() {
+  static std::atomic<uint32_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+BufferPool::Shard& BufferPool::ShardFor(const PageImageKey& key) {
+  return shards_[KeyHash{}(key) & (kShards - 1)];
+}
+
+void BufferPool::Unlink(Frame* frame) {
+  frame->prev->next = frame->next;
+  frame->next->prev = frame->prev;
+  frame->prev = nullptr;
+  frame->next = nullptr;
+}
+
+void BufferPool::LinkFront(Shard& shard, Frame* frame) {
+  frame->next = shard.lru.next;
+  frame->prev = &shard.lru;
+  shard.lru.next->prev = frame;
+  shard.lru.next = frame;
+}
+
+void BufferPool::Touch(Shard& shard, Frame* frame) {
+  Unlink(frame);
+  LinkFront(shard, frame);
+}
+
+std::shared_ptr<const std::string> BufferPool::Lookup(
+    const PageImageKey& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(key);
+  if (it == shard.frames.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  Touch(shard, it->second.get());
+  return it->second->data;
+}
+
+std::shared_ptr<const std::string> BufferPool::Insert(
+    const PageImageKey& key, std::shared_ptr<const std::string> page) {
+  BP_CHECK(page != nullptr && page->size() == kPageSize,
+           "pool frames are exactly one page");
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(key);
+  if (it != shard.frames.end()) {
+    // Another thread fetched the same image concurrently; keys name
+    // immutable byte images, so the frames are identical — adopt the
+    // resident one and let the caller's copy die.
+    ++shard.reinserts;
+    Touch(shard, it->second.get());
+    return it->second->data;
+  }
+  auto frame = std::make_unique<Frame>();
+  frame->key = key;
+  frame->data = std::move(page);
+  shard.bytes += frame->data->size();
+  ++shard.inserts;
+  LinkFront(shard, frame.get());
+  std::shared_ptr<const std::string> out = frame->data;
+  shard.frames.emplace(key, std::move(frame));
+  EvictLocked(shard);
+  return out;
+}
+
+void BufferPool::EvictLocked(Shard& shard) {
+  // Walk from the cold end. Every step either evicts the frame or
+  // re-warms a pinned one to the MRU end. Two bounds keep an insert
+  // O(evicted) amortized even when the budget cannot be met: the scan
+  // never exceeds one full pass, and it gives up after a run of
+  // kMaxFruitlessProbes consecutive pinned frames — when live readers
+  // pin more than the budget, burning the whole shard's LRU under the
+  // lock on EVERY insert would serialize exactly the traffic the
+  // shards exist to spread (the re-warmed pinned frames still migrate
+  // off the cold end, so later inserts resume progress).
+  constexpr size_t kMaxFruitlessProbes = 32;
+  size_t examined = 0;
+  size_t fruitless = 0;
+  const size_t limit = shard.frames.size();
+  while (shard.bytes > shard_budget_ && examined < limit &&
+         fruitless < kMaxFruitlessProbes) {
+    Frame* victim = shard.lru.prev;
+    if (victim == &shard.lru) break;
+    ++examined;
+    if (victim->data.use_count() > 1) {
+      // Referenced outside the pool (a live PageView or a caller-held
+      // image): pinned. Never evicted; spare it and move on. use_count
+      // is exact here: new references are only minted under this
+      // shard's lock, so > 1 cannot turn into == 1 concurrently — at
+      // worst a concurrent release makes us spare a frame one pass
+      // longer than necessary.
+      ++shard.pinned_skips;
+      ++fruitless;
+      Touch(shard, victim);
+      continue;
+    }
+    fruitless = 0;
+    shard.bytes -= victim->data->size();
+    ++shard.evictions;
+    Unlink(victim);
+    // Copy the key out: erase(const key_type&) must not be handed a
+    // reference into the node it is destroying.
+    const PageImageKey victim_key = victim->key;
+    shard.frames.erase(victim_key);
+  }
+}
+
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats out;
+  for (size_t i = 0; i < kShards; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.inserts += shard.inserts;
+    out.reinserts += shard.reinserts;
+    out.evictions += shard.evictions;
+    out.pinned_skips += shard.pinned_skips;
+    out.bytes += shard.bytes;
+    out.frames += shard.frames.size();
+  }
+  return out;
+}
+
+}  // namespace bp::storage

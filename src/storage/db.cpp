@@ -30,6 +30,9 @@ Result<std::unique_ptr<Db>> Db::Open(const std::string& path,
   popts.durability = options.durability;
   popts.wal_group_commit = options.wal_group_commit;
   popts.wal_checkpoint_bytes = options.wal_checkpoint_bytes;
+  popts.pool_bytes = options.pool_bytes;
+  popts.buffer_pool = options.buffer_pool;
+  popts.pool_publish_on_commit = options.pool_publish_on_commit;
   BP_ASSIGN_OR_RETURN(std::unique_ptr<Pager> pager,
                       Pager::Open(path, popts));
   std::unique_ptr<Db> db(new Db(std::move(pager)));

@@ -25,6 +25,12 @@ struct DbOptions {
   DurabilityMode durability = DurabilityMode::kRollbackJournal;
   uint32_t wal_group_commit = 1;
   uint64_t wal_checkpoint_bytes = 4 << 20;
+  // Versioned buffer pool shared by the whole read path (WAL mode; see
+  // PagerOptions). pool_bytes = 0 disables it; buffer_pool (when set)
+  // joins an existing pool so several databases share one byte budget.
+  size_t pool_bytes = 32 << 20;
+  std::shared_ptr<BufferPool> buffer_pool;
+  bool pool_publish_on_commit = true;
 };
 
 struct SpaceEntry {

@@ -119,6 +119,9 @@ struct MemEnv::Shared {
   std::vector<MemEnvOp> ops;
   uint32_t sync_cost_us = 0;
   std::atomic<uint64_t> sync_count{0};
+  // Atomic (unlike sync_cost_us): benches flip it mid-run while reader
+  // threads are inside Read.
+  std::atomic<uint32_t> read_cost_us{0};
 };
 
 // One file's bytes plus a PER-FILE mutex making content access
@@ -142,11 +145,24 @@ class MemFile : public File {
         shared_(std::move(shared)) {}
 
   Status Read(uint64_t offset, size_t n, std::string* out) const override {
-    std::shared_lock<std::shared_mutex> lock(content_->mu);
-    const std::string& c = content_->data;
-    if (offset >= c.size()) return Status::OutOfRange("read past EOF");
-    if (offset + n > c.size()) return Status::IoError("short read (mem)");
-    out->assign(c, offset, n);
+    {
+      std::shared_lock<std::shared_mutex> lock(content_->mu);
+      const std::string& c = content_->data;
+      if (offset >= c.size()) return Status::OutOfRange("read past EOF");
+      if (offset + n > c.size()) return Status::IoError("short read (mem)");
+      out->assign(c, offset, n);
+    }
+    const uint32_t cost =
+        shared_->read_cost_us.load(std::memory_order_relaxed);
+    if (cost > 0) {
+      // Busy-wait outside the content lock (see Sync below): models the
+      // device time a cache-cold random read costs on real hardware,
+      // charged to the reading thread only.
+      auto until = std::chrono::steady_clock::now() +
+                   std::chrono::microseconds(cost);
+      while (std::chrono::steady_clock::now() < until) {
+      }
+    }
     return Status::Ok();
   }
 
@@ -291,6 +307,10 @@ Status MemEnv::ApplyOps(const std::vector<MemEnvOp>& ops, size_t count,
 }
 
 void MemEnv::set_sync_cost_us(uint32_t us) { shared_->sync_cost_us = us; }
+
+void MemEnv::set_read_cost_us(uint32_t us) {
+  shared_->read_cost_us.store(us, std::memory_order_relaxed);
+}
 
 uint64_t MemEnv::sync_count() const { return shared_->sync_count; }
 

@@ -105,6 +105,12 @@ class MemEnv : public Env {
   // wall-clock bench numbers on MemEnv reflect fsync COUNT the way a
   // real disk would. Default 0 (sync is free, as before).
   void set_sync_cost_us(uint32_t us);
+  // Simulated device READ latency, charged to the reading thread on
+  // every File::Read — what a cache-cold random page read costs on real
+  // storage (an NVMe-class 4 KiB read is ~20 us; OS-page-cache-warm
+  // MemEnv reads are otherwise free, which hides the entire cost the
+  // buffer pool exists to remove). Default 0. Safe to flip mid-run.
+  void set_read_cost_us(uint32_t us);
   uint64_t sync_count() const;
 
   // Env-wide state reachable from every open MemFile, and one file's

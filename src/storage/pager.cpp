@@ -58,7 +58,10 @@ char* PageRef::mutable_data() {
 // ----------------------------------------------------------------- Pager
 
 Pager::Pager(std::string path, PagerOptions options)
-    : path_(std::move(path)), options_(options) {}
+    : path_(std::move(path)), options_(options) {
+  lru_.lru_prev = &lru_;
+  lru_.lru_next = &lru_;
+}
 
 Result<std::unique_ptr<Pager>> Pager::Open(std::string path,
                                            PagerOptions options) {
@@ -90,6 +93,18 @@ Result<std::unique_ptr<Pager>> Pager::Open(std::string path,
   if (pager->options_.durability == DurabilityMode::kWal) {
     BP_ASSIGN_OR_RETURN(pager->wal_,
                         wal::WalWriter::Open(options.env, pager->WalPath()));
+    // The shared versioned buffer pool serves the whole read path in
+    // WAL mode. Journal mode gets none: it rewrites main-file pages in
+    // place at every commit, which would stale main-file image keys
+    // mid-generation (and it has no snapshots to serve anyway).
+    if (options.buffer_pool != nullptr) {
+      pager->pool_ = options.buffer_pool;
+    } else if (options.pool_bytes > 0) {
+      pager->pool_ = std::make_shared<BufferPool>(options.pool_bytes);
+    }
+    if (pager->pool_ != nullptr) {
+      pager->pool_owner_ = BufferPool::NextOwnerId();
+    }
   }
   pager->PublishCommittedState();
   return pager;
@@ -325,6 +340,11 @@ Status Pager::Checkpoint() {
   BP_RETURN_IF_ERROR(wal_->ResetToHeader());
   wal_index_.clear();
   ++stats_.checkpoints;
+  if (folded.ran) {
+    // The fold rewrote main-file pages and freed the log's offsets for
+    // reuse: a new generation, so no stale pool key can ever resolve.
+    ++generation_;
+  }
   PublishLocked(std::make_shared<std::unordered_map<PageId, uint64_t>>());
   return Status::Ok();
 }
@@ -350,6 +370,7 @@ void Pager::PublishLocked(
   published_.page_count = page_count_;
   published_.catalog_root = catalog_root_;
   published_.main_file_pages = main_file_pages_;
+  published_.generation = generation_;
   if (index != nullptr) published_.wal_index = std::move(index);
 }
 
@@ -390,7 +411,10 @@ util::Result<std::unique_ptr<Snapshot>> Pager::BeginRead() {
   snap->page_count_ = published_.page_count;
   snap->catalog_root_ = published_.catalog_root;
   snap->main_file_pages_ = published_.main_file_pages;
+  snap->generation_ = published_.generation;
   snap->wal_index_ = published_.wal_index;
+  snap->pool_ = pool_;
+  snap->pool_owner_ = pool_owner_;
   snap->cache_cap_ = options_.cache_pages;
   ++live_snapshots_;
   return snap;
@@ -401,10 +425,13 @@ uint32_t Pager::live_snapshots() const {
   return live_snapshots_;
 }
 
-void Pager::ReleaseSnapshot() {
+void Pager::ReleaseSnapshot(const SnapshotStats& final_stats) {
   std::lock_guard<std::mutex> lock(commit_mu_);
   BP_CHECK(live_snapshots_ > 0);
   --live_snapshots_;
+  retired_snapshot_stats_.pages_read += final_stats.pages_read;
+  retired_snapshot_stats_.cache_hits += final_stats.cache_hits;
+  retired_snapshot_stats_.pool_hits += final_stats.pool_hits;
 }
 
 Status Pager::Begin() {
@@ -555,6 +582,17 @@ Status Pager::CommitViaWal(const std::vector<internal::Frame*>& dirty) {
   stats_.wal_frames += dirty.size();
   stats_.pages_written += dirty.size();
   ++wal_unsynced_commits_;
+  // Publish the freshly committed images into the shared pool, so
+  // snapshot readers (and repeated one-shot queries) hit hot pages —
+  // tree roots, the catalog — without ever touching the log.
+  // `offsets` and `dirty` are index-aligned (built by the same loop).
+  if (pool_ != nullptr && options_.pool_publish_on_commit) {
+    for (size_t i = 0; i < dirty.size(); ++i) {
+      PublishToPool(PageImageKey{pool_owner_, offsets[i].first, generation_,
+                                 offsets[i].second},
+                    std::string(dirty[i]->data));
+    }
+  }
   return Status::Ok();
 }
 
@@ -575,6 +613,7 @@ Status Pager::Rollback() {
     auto it = frames_.find(id);
     if (it != frames_.end()) {
       BP_CHECK(it->second->pins == 0, "rolling back a pinned fresh page");
+      LruRemove(it->second.get());
       frames_.erase(it);
     }
   }
@@ -607,15 +646,28 @@ Result<internal::Frame*> Pager::FetchFrame(PageId id) {
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     ++stats_.cache_hits;
-    it->second->lru_tick = ++lru_clock_;
+    LruTouch(it->second.get());
     return it->second.get();
   }
   ++stats_.cache_misses;
   auto frame = std::make_unique<internal::Frame>();
   frame->id = id;
-  frame->lru_tick = ++lru_clock_;
-  auto wal_hit = wal_index_.find(id);
-  if (wal_hit != wal_index_.end()) {
+  // A miss can only be a clean committed page (dirty frames are never
+  // evicted), so the shared pool may already hold its image — published
+  // at commit, by an evicted twin, or by a snapshot reader that fetched
+  // it first. Copy it out instead of touching the log/database file.
+  PageImageKey pool_key;
+  bool pooled = false;
+  if (CommittedImageKey(id, &pool_key)) {
+    if (std::shared_ptr<const std::string> image = pool_->Lookup(pool_key)) {
+      frame->data = *image;
+      pooled = true;
+    }
+  }
+  if (pooled) {
+    // No stats_.pages_read: the pool hit (counted in pool stats) saved
+    // the storage read.
+  } else if (auto wal_hit = wal_index_.find(id); wal_hit != wal_index_.end()) {
     // Latest committed version lives in the write-ahead log (the page
     // was evicted after a WAL commit and not yet checkpointed).
     BP_RETURN_IF_ERROR(
@@ -631,6 +683,7 @@ Result<internal::Frame*> Pager::FetchFrame(PageId id) {
   }
   internal::Frame* raw = frame.get();
   frames_.emplace(id, std::move(frame));
+  LruTouch(raw);
   return raw;
 }
 
@@ -707,25 +760,97 @@ void Pager::Unpin(internal::Frame* frame) {
   --frame->pins;
 }
 
+void Pager::LruTouch(internal::Frame* frame) {
+  if (frame->lru_prev != nullptr) {  // already linked: unlink first
+    frame->lru_prev->lru_next = frame->lru_next;
+    frame->lru_next->lru_prev = frame->lru_prev;
+  }
+  frame->lru_next = lru_.lru_next;
+  frame->lru_prev = &lru_;
+  lru_.lru_next->lru_prev = frame;
+  lru_.lru_next = frame;
+}
+
+void Pager::LruRemove(internal::Frame* frame) {
+  if (frame->lru_prev == nullptr) return;
+  frame->lru_prev->lru_next = frame->lru_next;
+  frame->lru_next->lru_prev = frame->lru_prev;
+  frame->lru_prev = nullptr;
+  frame->lru_next = nullptr;
+}
+
 void Pager::MaybeEvict() {
   if (frames_.size() <= options_.cache_pages) return;
-  // Evict clean, unpinned frames in LRU order until under the cap. Dirty
-  // frames must survive until commit, so the cap is soft.
-  std::vector<internal::Frame*> victims;
-  for (auto& [id, frame] : frames_) {
-    if (frame->pins == 0 && !frame->dirty && frame->id != 0) {
-      victims.push_back(frame.get());
+  // Pop clean, unpinned frames off the cold end of the intrusive LRU
+  // list until under the cap — O(evicted) plus the skipped survivors,
+  // not a scan-and-sort of every frame per trigger. Dirty frames must
+  // survive until commit (the cap is soft); skipped survivors (pinned,
+  // dirty, the header) are re-warmed to the MRU end so the walk
+  // terminates and does not re-examine them next trigger.
+  size_t examined = 0;
+  const size_t limit = frames_.size();
+  while (frames_.size() > options_.cache_pages && examined < limit) {
+    internal::Frame* victim = lru_.lru_prev;
+    if (victim == &lru_) break;
+    ++examined;
+    if (victim->pins > 0 || victim->dirty || victim->id == 0) {
+      LruTouch(victim);
+      continue;
     }
-  }
-  std::sort(victims.begin(), victims.end(),
-            [](const internal::Frame* a, const internal::Frame* b) {
-              return a->lru_tick < b->lru_tick;
-            });
-  for (internal::Frame* victim : victims) {
-    if (frames_.size() <= options_.cache_pages) break;
-    frames_.erase(victim->id);
+    // Victim caching: the evicted image is the latest committed version
+    // of its page, so hand the bytes to the shared pool (a move, not a
+    // copy) where snapshot readers and a later re-fetch find them.
+    PageImageKey key;
+    if (CommittedImageKey(victim->id, &key)) {
+      PublishToPool(key, std::move(victim->data));
+    }
+    LruRemove(victim);
+    // Copy the id out: erase(const key_type&) must not be handed a
+    // reference into the node it is destroying.
+    const PageId victim_id = victim->id;
+    frames_.erase(victim_id);
     ++stats_.evictions;
   }
+}
+
+bool Pager::CommittedImageKey(PageId id, PageImageKey* key) const {
+  if (pool_ == nullptr) return false;  // also covers journal mode
+  key->owner = pool_owner_;
+  key->id = id;
+  key->generation = generation_;
+  if (auto it = wal_index_.find(id); it != wal_index_.end()) {
+    key->offset = it->second;
+    return true;
+  }
+  if (id < main_file_pages_) {
+    key->offset = kMainFileImage;
+    return true;
+  }
+  return false;  // no committed image yet (allocated this transaction)
+}
+
+void Pager::PublishToPool(const PageImageKey& key, std::string&& image) {
+  (void)pool_->Insert(key,
+                      std::make_shared<const std::string>(std::move(image)));
+}
+
+PagerStats Pager::stats() const {
+  PagerStats out = stats_;
+  if (pool_ != nullptr) {
+    BufferPoolStats pool = pool_->stats();
+    out.pool_hits = pool.hits;
+    out.pool_misses = pool.misses;
+    out.pool_evictions = pool.evictions;
+    out.pool_bytes = pool.bytes;
+    out.pool_frames = pool.frames;
+  }
+  {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    out.snapshot_pages_read = retired_snapshot_stats_.pages_read;
+    out.snapshot_cache_hits = retired_snapshot_stats_.cache_hits;
+    out.snapshot_pool_hits = retired_snapshot_stats_.pool_hits;
+  }
+  return out;
 }
 
 }  // namespace bp::storage

@@ -60,6 +60,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "storage/buffer_pool.hpp"
 #include "storage/env.hpp"
 #include "storage/page.hpp"
 #include "util/status.hpp"
@@ -93,6 +94,30 @@ struct PagerOptions {
   // kWal only: checkpoint (fold log into the database file) once the log
   // exceeds this size.
   uint64_t wal_checkpoint_bytes = 4 << 20;
+  // Byte budget of the versioned buffer pool the read path shares (all
+  // snapshots + the live pager; see storage/buffer_pool.hpp). Replaces
+  // the per-snapshot soft caps. 0 disables the pool: snapshots fall
+  // back to a private copy-on-read cache capped at cache_pages, and
+  // live misses always hit the log/database file.
+  size_t pool_bytes = 32 << 20;
+  // When set, this pager joins an existing pool (several databases
+  // sharing one global byte budget) instead of creating its own from
+  // pool_bytes. Keys carry a per-pager owner id, so pagers never alias.
+  std::shared_ptr<BufferPool> buffer_pool;
+  // kWal only: publish each commit's page images into the pool as they
+  // are logged, so reader misses on hot, freshly written pages (tree
+  // roots, the catalog) disappear. Costs one page copy per dirty page
+  // per commit; turn off for write-only workloads.
+  bool pool_publish_on_commit = true;
+};
+
+// Read-path counters of one Snapshot (storage/snapshot.hpp): where its
+// page reads were served from. Folded into PagerStats when the
+// snapshot is released.
+struct SnapshotStats {
+  uint64_t pages_read = 0;  // log/database file reads (missed everywhere)
+  uint64_t cache_hits = 0;  // L1: the snapshot's own memo
+  uint64_t pool_hits = 0;   // L2: the shared versioned buffer pool
 };
 
 struct PagerStats {
@@ -116,6 +141,22 @@ struct PagerStats {
   // at checkpoint/close. fsyncs / group_commits is the amortization the
   // window actually achieved.
   uint64_t group_commits = 0;
+  // Shared buffer pool, aggregated over every consumer of the pool this
+  // pager belongs to (snapshots, the live read path, and — when
+  // PagerOptions::buffer_pool is shared — other pagers). All zero when
+  // the pool is disabled (pool_bytes = 0).
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+  uint64_t pool_evictions = 0;
+  uint64_t pool_bytes = 0;   // resident image bytes right now
+  uint64_t pool_frames = 0;  // resident frames right now
+  // Snapshot read-path totals, folded in as each snapshot is released
+  // (live snapshots report through their own SnapshotStats until then):
+  // log/database reads, L1 memo hits, and shared-pool hits issued by
+  // snapshot readers.
+  uint64_t snapshot_pages_read = 0;
+  uint64_t snapshot_cache_hits = 0;
+  uint64_t snapshot_pool_hits = 0;
 };
 
 class Pager;
@@ -127,7 +168,10 @@ struct Frame {
   std::string data;  // exactly kPageSize bytes
   int pins = 0;
   bool dirty = false;
-  uint64_t lru_tick = 0;
+  // Intrusive LRU list links (head = MRU); see Pager::lru_. Eviction
+  // pops from the cold end instead of scanning and sorting every frame.
+  Frame* lru_prev = nullptr;
+  Frame* lru_next = nullptr;
 };
 }  // namespace internal
 
@@ -189,7 +233,15 @@ class Pager {
   PageId catalog_root() const { return catalog_root_; }
   util::Status SetCatalogRoot(PageId root);
 
-  const PagerStats& stats() const { return stats_; }
+  // Point-in-time statistics: the pager's own counters plus (when a
+  // pool is attached) the shared buffer pool's, folded into the pool_*
+  // fields — one coherent set for benches and facade reporting.
+  PagerStats stats() const;
+
+  // The shared versioned buffer pool (null when pool_bytes was 0 and no
+  // pool was injected). Snapshots resolve through it; several pagers
+  // may share one instance via PagerOptions::buffer_pool.
+  const std::shared_ptr<BufferPool>& buffer_pool() const { return pool_; }
 
   // Monotone counter bumped by every page mutation (GetMutable) and by
   // Rollback. Open cursors snapshot it to detect interleaved writes: an
@@ -275,7 +327,7 @@ class Pager {
   // index) into published_. commit_mu_ must already be held.
   void PublishLocked(
       std::shared_ptr<std::unordered_map<PageId, uint64_t>> index);
-  void ReleaseSnapshot();
+  void ReleaseSnapshot(const SnapshotStats& final_stats);
 
   util::Status InitializeNewDb();
   util::Status LoadHeader();
@@ -294,13 +346,37 @@ class Pager {
   void Unpin(internal::Frame* frame);
   void MaybeEvict();
 
+  // --- intrusive LRU over frames_ (writer cache) ---------------------
+  void LruTouch(internal::Frame* frame);
+  void LruRemove(internal::Frame* frame);
+
+  // --- buffer pool (WAL mode; writer thread only) --------------------
+  // The image key of `id`'s latest COMMITTED image, resolvable by any
+  // reader: WAL offset when the image lives in the log, main-file key
+  // when checkpointed. false when the page has no committed image yet
+  // (allocated this transaction) or the pool is off.
+  bool CommittedImageKey(PageId id, PageImageKey* key) const;
+  // Publishes a clean committed image (copy or move) into the pool.
+  void PublishToPool(const PageImageKey& key, std::string&& image);
+
   std::string path_;
   PagerOptions options_;
   std::unique_ptr<File> file_;
 
   std::unordered_map<PageId, std::unique_ptr<internal::Frame>> frames_;
-  uint64_t lru_clock_ = 0;
+  internal::Frame lru_;  // sentinel: lru_.lru_next = MRU end
   uint64_t change_count_ = 0;
+
+  // Shared versioned buffer pool (see storage/buffer_pool.hpp). Null
+  // when disabled. Only consulted in WAL mode: journal mode rewrites
+  // main-file pages in place at every commit, which would invalidate
+  // main-file image keys mid-generation.
+  std::shared_ptr<BufferPool> pool_;
+  uint32_t pool_owner_ = 0;
+  // Checkpoint generation: versions main-file images and disambiguates
+  // reused WAL offsets across checkpoints. Bumped by every checkpoint
+  // that folded pages. Writer thread; snapshots read the published copy.
+  uint32_t generation_ = 0;
 
   // Cached header fields (persisted in page 0).
   uint32_t page_count_ = 0;
@@ -343,11 +419,14 @@ class Pager {
     uint32_t page_count = 0;
     PageId catalog_root = kNoPage;
     uint32_t main_file_pages = 0;
+    uint32_t generation = 0;  // checkpoint generation (pool image keys)
     std::shared_ptr<std::unordered_map<PageId, uint64_t>> wal_index;
   };
   mutable std::mutex commit_mu_;
   PublishedState published_;
   uint32_t live_snapshots_ = 0;  // guarded by commit_mu_
+  // Totals folded in by ReleaseSnapshot (guarded by commit_mu_).
+  SnapshotStats retired_snapshot_stats_;
 
   bool crash_after_journal_ = false;
   PagerStats stats_;

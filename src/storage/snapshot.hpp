@@ -5,24 +5,40 @@
 // (page id -> log offset of the latest committed image <= that commit).
 // Reads resolve, in order, against
 //
-//   1. the snapshot's own page cache (shared-ownership pages, filled
-//      copy-on-read — a page is copied out of the log or database file
-//      the first time the snapshot touches it),
-//   2. the write-ahead log at the frozen offset (the log is append-only
+//   1. the snapshot's own L1 memo — a map from page id to the frame
+//      this snapshot already resolved. A frozen view's page -> image
+//      mapping never changes, so memoizing is free correctness-wise,
+//      and the memo holds POINTERS into pool frames, not copies: it
+//      restores the old private-cache hit cost (one u32 map find)
+//      without duplicating a single page byte,
+//   2. the pager's shared versioned buffer pool (storage/buffer_pool
+//      .hpp), keyed by page image identity — (page, generation, WAL
+//      offset) for log-resident images, (page, generation) for
+//      main-file ones — so every snapshot observing the same image of
+//      a page shares ONE frame, repeated one-shot queries run warm,
+//      and the writer's committed pages arrive pre-published,
+//   3. the write-ahead log at the frozen offset (the log is append-only
 //      between checkpoints, so offsets recorded at snapshot time stay
 //      valid no matter how far the writer has advanced), and
-//   3. the main database file (stable while snapshots are live, because
+//   4. the main database file (stable while snapshots are live, because
 //      checkpointing — the only writer of that file in WAL mode — is
 //      deferred until every snapshot is released).
+//
+// A log/database read (a pool miss) is inserted back into the pool for
+// every later reader. When the pool is disabled (PagerOptions::
+// pool_bytes = 0), the L1 holds private page copies soft-capped at
+// cache_pages — the pre-pool behavior — and past that cap reads stay
+// read-through (correct, just uncached).
 //
 // The writer's in-memory page cache is never consulted, so uncommitted
 // transaction state and post-snapshot commits are invisible by
 // construction; there is no copy-out when the writer dirties a page.
 //
 // Thread safety: a Snapshot is safe to share across reader threads
-// (ReadPage locks only the snapshot's own cache), and any number of
-// snapshots may be read while the single writer keeps committing.
-// A snapshot must be released before its Pager closes.
+// (the pool is sharded; the fallback cache takes the snapshot's own
+// mutex), and any number of snapshots may be read while the single
+// writer keeps committing. A snapshot must be released before its
+// Pager closes.
 #pragma once
 
 #include <atomic>
@@ -37,10 +53,8 @@
 
 namespace bp::storage {
 
-struct SnapshotStats {
-  uint64_t pages_read = 0;  // log/database file reads (cache misses)
-  uint64_t cache_hits = 0;
-};
+// SnapshotStats is defined in storage/pager.hpp (the pager aggregates
+// released snapshots' counters into PagerStats).
 
 class Snapshot {
  public:
@@ -62,6 +76,7 @@ class Snapshot {
     SnapshotStats out;
     out.pages_read = pages_read_.load(std::memory_order_relaxed);
     out.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+    out.pool_hits = pool_hits_.load(std::memory_order_relaxed);
     return out;
   }
 
@@ -76,12 +91,22 @@ class Snapshot {
   // Pages <= this are served from the main database file when absent
   // from the frozen WAL index.
   uint32_t main_file_pages_ = 0;
+  // Checkpoint generation at freeze time (pool image keys; constant
+  // while the snapshot lives, because checkpoints are deferred).
+  uint32_t generation_ = 0;
   // Frozen view of the WAL index, shared with the pager's published
   // state (immutable once published; republished, not mutated).
   std::shared_ptr<const std::unordered_map<PageId, uint64_t>> wal_index_;
 
-  // Copy-on-read page cache. Soft-capped: past `cache_cap_` pages reads
-  // stay read-through (correct, just uncached).
+  // The pager's shared versioned buffer pool; null when disabled.
+  std::shared_ptr<BufferPool> pool_;
+  uint32_t pool_owner_ = 0;
+
+  // L1 memo: page -> resolved frame. With a pool these are pointers
+  // into shared pool frames (no byte duplication; holding them pins the
+  // working set against eviction); without one they are private page
+  // copies. Soft-capped: past `cache_cap_` pages reads stay
+  // read-through (correct, just uncached).
   mutable std::mutex mu_;
   mutable std::unordered_map<PageId, std::shared_ptr<const std::string>>
       cache_;
@@ -89,6 +114,7 @@ class Snapshot {
 
   mutable std::atomic<uint64_t> pages_read_{0};
   mutable std::atomic<uint64_t> cache_hits_{0};
+  mutable std::atomic<uint64_t> pool_hits_{0};
 };
 
 // Read-only view of one page from either source: a pinned frame of the

@@ -7,6 +7,7 @@
 #include "storage/pager.hpp"
 #include "util/require.hpp"
 #include "util/serde.hpp"
+#include "util/strings.hpp"
 
 namespace bp::text {
 
@@ -36,12 +37,29 @@ std::string EncodePostings(const std::vector<Posting>& postings) {
 Result<std::vector<Posting>> DecodePostings(std::string_view blob) {
   Reader r(blob);
   uint64_t n = r.ReadVarint64();
+  if (!r.ok()) {
+    return Status::Corruption("postings blob: truncated count varint");
+  }
+  // The count is untrusted until proven payload-backed: each posting is
+  // two varints of >= 1 byte each, so a count that two bytes per entry
+  // cannot cover is corrupt — reject it BEFORE reserve(n), which would
+  // otherwise turn one flipped byte into an unbounded allocation.
+  if (n > (blob.size() - r.position()) / 2) {
+    return Status::Corruption(util::StrFormat(
+        "postings blob: count %llu exceeds payload capacity (%zu bytes)",
+        (unsigned long long)n, blob.size()));
+  }
   std::vector<Posting> postings;
   postings.reserve(n);
   DocId prev = 0;
   for (uint64_t i = 0; i < n; ++i) {
     prev += r.ReadVarint64();
     uint32_t tf = static_cast<uint32_t>(r.ReadVarint64());
+    if (!r.ok()) {
+      return Status::Corruption(util::StrFormat(
+          "postings blob: payload truncated at entry %llu of %llu",
+          (unsigned long long)i, (unsigned long long)n));
+    }
     postings.push_back(Posting{prev, tf});
   }
   BP_RETURN_IF_ERROR(r.Finish());

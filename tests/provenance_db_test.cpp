@@ -206,13 +206,12 @@ TEST_F(ProvenanceDbTest, SnapshotViewExposesTheFullQuerySurface) {
 
 TEST_F(ProvenanceDbTest, SyncAndCheckpointThroughTheFacade) {
   IngestRosebudSession();
-  const auto& stats = db_->db().pager().stats();
   // sync=true MemEnv default? The facade default options use the test
   // env with sync on; Sync flushes any partially filled group-commit
   // window, Checkpoint folds the log.
   ASSERT_TRUE(db_->Sync().ok());
   ASSERT_TRUE(db_->Checkpoint().ok());
-  EXPECT_GT(stats.checkpoints, 0u);
+  EXPECT_GT(db_->storage_stats().checkpoints, 0u);
 
   // A live snapshot pins WAL frames: the explicit checkpoint refuses.
   auto view = db_->BeginSnapshot();

@@ -8,6 +8,7 @@
 #include "text/index.hpp"
 #include "text/tokenizer.hpp"
 #include "util/rng.hpp"
+#include "util/serde.hpp"
 
 namespace bp::text {
 namespace {
@@ -228,6 +229,40 @@ TEST_F(IndexTest, EmptyQueryAndZeroK) {
 
 TEST_F(IndexTest, RejectsReservedDocId) {
   EXPECT_THROW((void)index_->AddDocument(0, {"x"}), std::logic_error);
+}
+
+TEST_F(IndexTest, CorruptPostingCountIsRejectedNotAllocated) {
+  // A flipped byte in the posting-count varint must surface as
+  // Corruption, not as a reserve() of 2^60 entries: the count is only
+  // trusted once the payload could plausibly back it (>= 2 bytes per
+  // posting).
+  Add(1, "rosebud");
+  ASSERT_TRUE(index_->Flush().ok());
+  storage::BTree* terms = *db_->OpenTree("hist.terms");
+  util::Writer evil;
+  evil.PutVarint64(uint64_t{1} << 60);  // count: ~10^18 postings
+  evil.PutVarint64(1);                  // one lonely byte of payload
+  ASSERT_TRUE(terms->Put("evil", evil.data()).ok());
+
+  util::Status decoded = index_->ForEachPosting(
+      "evil", [](const Posting&) { return true; });
+  EXPECT_EQ(decoded.code(), util::StatusCode::kCorruption);
+}
+
+TEST_F(IndexTest, TruncatedPostingPayloadIsCorruption) {
+  // Count says three postings, payload carries one and a half: the
+  // decoder must report Corruption instead of fabricating entries from
+  // a failed reader.
+  storage::BTree* terms = *db_->OpenTree("hist.terms");
+  util::Writer torn;
+  torn.PutVarint64(3);  // count
+  torn.PutVarint64(5);  // doc delta
+  torn.PutVarint64(2);  // tf — then nothing for postings 2 and 3
+  ASSERT_TRUE(terms->Put("torn", torn.data()).ok());
+
+  util::Status decoded = index_->ForEachPosting(
+      "torn", [](const Posting&) { return true; });
+  EXPECT_EQ(decoded.code(), util::StatusCode::kCorruption);
 }
 
 }  // namespace
