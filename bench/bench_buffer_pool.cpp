@@ -51,17 +51,32 @@ int main(int argc, char** argv) {
     for (uint64_t i = 0; i < kResident; ++i) {
       (void)pool.Insert(key(i), image('r'));
     }
+    // Per-lookup cost sampled per block (timing every lookup would
+    // dominate the thing measured): the distribution catches shard-map
+    // outliers a mean would hide.
+    const uint64_t kBlock = 10'000;
+    std::vector<double> block_ns;
+    block_ns.reserve(kLookups / kBlock);
     util::Stopwatch watch;
     uint64_t found = 0;
-    for (uint64_t i = 0; i < kLookups; ++i) {
-      found += pool.Lookup(key(i % kResident)) != nullptr;
+    for (uint64_t start = 0; start < kLookups; start += kBlock) {
+      util::Stopwatch block;
+      for (uint64_t i = start; i < start + kBlock; ++i) {
+        found += pool.Lookup(key(i % kResident)) != nullptr;
+      }
+      block_ns.push_back(1000.0 * static_cast<double>(block.ElapsedUs()) /
+                         static_cast<double>(kBlock));
     }
     const double ms = watch.ElapsedMs();
     BP_CHECK(found == kLookups, "every resident lookup must hit");
     const double per_sec = 1000.0 * static_cast<double>(kLookups) / ms;
-    Row("hit:         %9llu lookups in %7.1f ms  (%12.0f hits/s)",
-        (unsigned long long)kLookups, ms, per_sec);
+    const Percentiles lookup_ns = ComputePercentiles(std::move(block_ns));
+    Row("hit:         %9llu lookups in %7.1f ms  (%12.0f hits/s, "
+        "%.0f/%.0f ns p50/p99)",
+        (unsigned long long)kLookups, ms, per_sec, lookup_ns.p50,
+        lookup_ns.p99);
     Metric("hit_lookups_per_sec", per_sec);
+    MetricPercentiles("hit_lookup_ns", lookup_ns);
   }
 
   // ----------------------------------------------------- miss + insert

@@ -309,6 +309,11 @@ int main(int argc, char** argv) {
   Metric("pool_misses", static_cast<double>(pooled.stats.pool_misses));
   Metric("pool_evictions",
          static_cast<double>(pooled.stats.pool_evictions));
+  // Registry view of the one-shot sweeps (both configs accumulate into
+  // the process-wide bp_query_us{family="trace_download"} histogram):
+  // tail latency for the forensics one-shots under a live writer.
+  MetricObsHistogram("obs_query_trace_us",
+                     QueryLatencyHistogram("trace_download"));
 
   Blank();
   Row("drift-corrected serialized baseline: %.1f reads/s (pooled: %.1f)",

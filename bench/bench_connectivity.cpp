@@ -137,5 +137,8 @@ int main(int argc, char** argv) {
   Row("(expected shape: Places orphan rate grows sharply for the power");
   Row(" user and its lineage walks dead-end; provenance orphan rate stays");
   Row(" low — only true session starts — and lineage keeps working)");
+  // Commit-latency distribution from the engine's registry (populated
+  // by both users' ingests): instrumentation liveness cross-check.
+  MetricObsHistogram("obs_commit_us", CommitLatencyHistogram());
   return Finish();
 }

@@ -94,5 +94,8 @@ int main(int argc, char** argv) {
   Metric("provenance_recall_at_10", 100.0 * prov_hits / n);
   Blank();
   Row("(provenance rerank should dominate or match on both metrics)");
+  // Commit-latency distribution from the engine's registry (populated
+  // by the fixture ingest): instrumentation liveness cross-check.
+  MetricObsHistogram("obs_commit_us", CommitLatencyHistogram());
   return Finish();
 }

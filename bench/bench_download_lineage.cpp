@@ -88,7 +88,8 @@ int main(int argc, char** argv) {
     if (familiar.found_recognizable) ++recognizable_found;
   }
   Percentiles p = ComputePercentiles(latencies);
-  Metric("trace_p50_ms", p.p50);
+  MetricPercentiles("trace_ms", p);
+  Metric("trace_p50_ms", p.p50);  // legacy name, kept for baseline diffs
   Metric("downloads_traced", checked);
   Metric("nearest_match", nearest_match);
   Blank();

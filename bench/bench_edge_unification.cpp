@@ -61,5 +61,8 @@ int main(int argc, char** argv) {
   Blank();
   Row("(unified expansion should match or beat raw quality while doing");
   Row(" less work — redirects and embeds add nodes, not user context)");
+  // Commit-latency distribution from the engine's registry (populated
+  // by the fixture ingest): instrumentation liveness cross-check.
+  MetricObsHistogram("obs_commit_us", CommitLatencyHistogram());
   return Finish();
 }

@@ -95,5 +95,8 @@ int main(int argc, char** argv) {
     Metric("degree_scan_ms", scan_ms);
     Metric("degree_speedup", fast_ms > 0 ? scan_ms / fast_ms : 0.0);
   }
+  // Commit-latency distribution from the engine's registry (populated
+  // by the 79-day ingest above): instrumentation liveness cross-check.
+  MetricObsHistogram("obs_commit_us", CommitLatencyHistogram());
   return Finish();
 }

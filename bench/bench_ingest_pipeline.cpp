@@ -90,7 +90,10 @@ RunResult Run(bool async, int threads, int per_thread) {
         } else {
           MustOk(db->Ingest(event), "ingest");
         }
-        latencies[t].push_back(static_cast<double>(call.ElapsedUs()));
+        // Sub-us precision: an uncontended enqueue is a few hundred ns,
+        // and a truncated-to-zero p50 would make the latency gate
+        // meaningless.
+        latencies[t].push_back(call.ElapsedMs() * 1000.0);
       }
     });
   }
@@ -150,8 +153,10 @@ int main(int argc, char** argv) {
     Metric("sync_events_per_sec" + suffix, sync.events_per_sec);
     Metric("async_events_per_sec" + suffix, async.events_per_sec);
     Metric("async_speedup" + suffix, speedup);
-    Metric("sync_call_p99_us" + suffix, sync.call_us.p99);
-    Metric("enqueue_p99_us" + suffix, async.call_us.p99);
+    // Full tail-latency families (bench_diff.py gates the t4 enqueue
+    // p50/p99 at a loose tolerance): the capture thread's experience.
+    MetricPercentiles("sync_call_us" + suffix, sync.call_us);
+    MetricPercentiles("enqueue_us" + suffix, async.call_us);
     if (threads == 4) {
       // The pipeline's own accounting for the heaviest configuration:
       // how much the committer coalesced and how the adaptive group
@@ -178,6 +183,18 @@ int main(int argc, char** argv) {
     }
   }
   Blank();
+  // The engine's own view of the same runs, through the process-wide
+  // registry histograms (accumulated over every async Run above): the
+  // cross-check that the obs instrumentation actually recorded.
+  MetricObsHistogram("obs_enqueue_us",
+                     *obs::MetricsRegistry::Global().GetHistogram(
+                         "bp_ingest_enqueue_us", "", ""));
+  MetricObsHistogram("obs_commit_batch_us",
+                     *obs::MetricsRegistry::Global().GetHistogram(
+                         "bp_ingest_commit_batch_us", "", ""));
+  MetricObsHistogram("obs_batch_events",
+                     *obs::MetricsRegistry::Global().GetHistogram(
+                         "bp_ingest_batch_events", "", ""));
   Row("acceptance (async >= 2x sync at 4 capture threads): %s (%.2fx)",
       pass ? "PASS" : "FAIL", speedup_at_4);
   int json_status = Finish();

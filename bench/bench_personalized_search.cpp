@@ -89,5 +89,8 @@ int main(int argc, char** argv) {
   Blank();
   Row("privacy audit: information sent to the engine = the augmented query");
   Row("string only; history rows disclosed: 0 (all mining ran locally)");
+  // Commit-latency distribution from the engine's registry (populated
+  // by the fixture ingest): instrumentation liveness cross-check.
+  MetricObsHistogram("obs_commit_us", CommitLatencyHistogram());
   return Finish();
 }

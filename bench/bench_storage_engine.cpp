@@ -174,5 +174,10 @@ int main(int argc, char** argv) {
     });
   }
 
+  // Per-commit latency distribution from the pager's own registry
+  // histogram (every Put/Commit above funnels through Pager::Commit):
+  // the tail the mean us/op rows can't show.
+  MetricObsHistogram("obs_commit_us", CommitLatencyHistogram());
+
   return Finish();
 }

@@ -70,5 +70,8 @@ int main(int argc, char** argv) {
         (unsigned long long)entry.stats.TotalPages(),
         (unsigned long long)entry.stats.cells, entry.stats.depth);
   }
+  // Commit-latency distribution from the engine's registry (populated
+  // by the fixture ingest): instrumentation liveness cross-check.
+  MetricObsHistogram("obs_commit_us", CommitLatencyHistogram());
   return Finish();
 }

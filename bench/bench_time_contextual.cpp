@@ -96,5 +96,8 @@ int main(int argc, char** argv) {
   Row("(with closes: time-ctx rank should be 1 and exactly one page");
   Row(" co-open; without closes the co-open set balloons and the rank");
   Row(" reverts toward the text baseline — section 3.2's point)");
+  // Commit-latency distribution from the engine's registry (populated
+  // by the fixture ingest): instrumentation liveness cross-check.
+  MetricObsHistogram("obs_commit_us", CommitLatencyHistogram());
   return Finish();
 }

@@ -110,5 +110,8 @@ int main(int argc, char** argv) {
   Row("(expected shape: timestamp-edges stores far fewer nodes; "
       "version-nodes pays storage for cheap, uniform graph queries — the "
       "trade-off section 3.1 describes)");
+  // Commit-latency distribution from the engine's registry (populated
+  // by every policy's ingest): instrumentation liveness cross-check.
+  MetricObsHistogram("obs_commit_us", CommitLatencyHistogram());
   return Finish();
 }

@@ -153,6 +153,17 @@ int main(int argc, char** argv) {
         util::StrFormat("wal+group8, batch %zu", batch).c_str(), wal_rate,
         wal_rate / journal_rate);
   }
+  Blank();
+  // Engine-side distributions accumulated across every run above, from
+  // the process-wide registry: per-commit latency, per-fsync device
+  // time, and how many commits each group fsync amortized.
+  MetricObsHistogram("obs_commit_us", CommitLatencyHistogram());
+  MetricObsHistogram("obs_wal_fsync_us",
+                     *obs::MetricsRegistry::Global().GetHistogram(
+                         "bp_wal_fsync_us", "", ""));
+  MetricObsHistogram("obs_group_commit_txns",
+                     *obs::MetricsRegistry::Global().GetHistogram(
+                         "bp_wal_group_commit_txns", "", ""));
   int json_status = Finish();
   return pass ? json_status : 1;
 }

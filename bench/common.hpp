@@ -15,6 +15,7 @@
 
 #include "capture/bus.hpp"
 #include "capture/recorders.hpp"
+#include "obs/metrics.hpp"
 #include "places/places.hpp"
 #include "prov/prov_store.hpp"
 #include "search/history_search.hpp"
@@ -78,6 +79,7 @@ inline void Init(int argc, char** argv, const char* name) {
 inline void Metric(const std::string& key, double value) {
   State().metrics.emplace_back(key, value);
 }
+
 
 // Writes BENCH_<name>.json when --json was passed. Return this from main.
 inline int Finish() {
@@ -282,6 +284,46 @@ inline void Blank() { std::printf("\n"); }
 struct Percentiles {
   double p50 = 0, p90 = 0, p99 = 0, max = 0, mean = 0;
 };
+
+// Emits one latency-style distribution as the flat keys bench_diff.py
+// gates: <prefix>_p50, _p90, _p99, _max, _mean.
+inline void MetricPercentiles(const std::string& prefix,
+                              const Percentiles& p) {
+  Metric(prefix + "_p50", p.p50);
+  Metric(prefix + "_p90", p.p90);
+  Metric(prefix + "_p99", p.p99);
+  Metric(prefix + "_max", p.max);
+  Metric(prefix + "_mean", p.mean);
+}
+
+// Same flat keys, sourced from a registry histogram the engine recorded
+// into (obs/metrics.hpp) — the bench-side window onto the process-wide
+// instruments. `count` is included so a silently empty histogram (an
+// instrumentation regression) is visible in the diff.
+inline void MetricObsHistogram(const std::string& prefix,
+                               const obs::Histogram& h) {
+  const obs::Histogram::Snapshot s = h.snapshot();
+  Metric(prefix + "_count", static_cast<double>(s.count));
+  Metric(prefix + "_p50", s.p50);
+  Metric(prefix + "_p90", s.p90);
+  Metric(prefix + "_p99", s.p99);
+  Metric(prefix + "_max", static_cast<double>(s.max));
+  Metric(prefix + "_mean", s.mean);
+}
+
+// The process-wide engine histograms benches most often report. The
+// registry find-or-creates, so these are safe to call even before the
+// engine first records (count = 0 then).
+inline obs::Histogram& CommitLatencyHistogram() {
+  return *obs::MetricsRegistry::Global().GetHistogram(
+      "bp_commit_us", "",
+      "End-to-end Pager::Commit latency (us), both durability modes");
+}
+inline obs::Histogram& QueryLatencyHistogram(const char* family) {
+  return *obs::MetricsRegistry::Global().GetHistogram(
+      "bp_query_us", std::string("family=\"") + family + "\"",
+      "One-shot query latency by family (us)");
+}
 
 inline Percentiles ComputePercentiles(std::vector<double> samples) {
   Percentiles out;

@@ -1,0 +1,81 @@
+// Metrics exporter smoke: stand up the full stack, drive every
+// instrumented hot path once (async ingest, group commit, checkpoint,
+// each one-shot query family), and print the observability surface.
+//
+//   ./build/metrics_exporter          DebugDump() JSON on stdout
+//   ./build/metrics_exporter --text   Prometheus-style text instead
+//
+// CI runs the JSON form and validates it against
+// scripts/metrics_schema.json (scripts/validate_metrics.py), so the
+// exporter doubles as the end-to-end check that the schema, the
+// exporter, and the instrumentation agree.
+#include <cstdio>
+#include <cstring>
+
+#include "obs/trace.hpp"
+#include "prov/provenance_db.hpp"
+#include "sim/scenario.hpp"
+
+using namespace bp;
+
+int main(int argc, char** argv) {
+  const bool text = argc > 1 && std::strcmp(argv[1], "--text") == 0;
+
+  storage::MemEnv env;
+  prov::ProvenanceDb::Options options;
+  options.db.env = &env;
+  auto db = prov::ProvenanceDb::Open("metrics.db", options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "open: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  // Record every span so the dump demonstrably carries a slow-op log
+  // even on a fast machine.
+  obs::Tracer::Global().set_slow_threshold_us(0);
+
+  // The quickstart session: search -> results -> film page -> download,
+  // pushed through the ASYNC pipeline so the committer-side instruments
+  // (batch latency, queue depth, coalescing) record too.
+  sim::ScenarioBuilder s;
+  uint64_t search = s.Search(/*tab=*/1, "rosebud");
+  s.Wait(util::Seconds(1));
+  uint64_t results =
+      s.Visit(1, "https://search.example/results?q=rosebud",
+              "rosebud - search results",
+              capture::NavigationAction::kSearchResult, 0, search);
+  s.Wait(util::Seconds(5));
+  uint64_t kane = s.Visit(1, "http://films.example/citizen-kane",
+                          "citizen kane 1941 film",
+                          capture::NavigationAction::kLink, results);
+  s.Wait(util::Seconds(5));
+  uint64_t dl = s.Download("http://films.example/kane-script.pdf",
+                           "/downloads/kane-script.pdf", kane);
+  for (const capture::BrowserEvent& event : s.events()) {
+    if (!(*db)->IngestAsync(event).ok()) {
+      std::fprintf(stderr, "enqueue failed\n");
+      return 1;
+    }
+  }
+  if (auto st = (*db)->Drain(); !st.ok()) {
+    std::fprintf(stderr, "drain: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // One call per instrumented query family.
+  (void)(*db)->Search("rosebud");
+  (void)(*db)->TextualSearch("rosebud");
+  (void)(*db)->Personalize("rosebud");
+  (void)(*db)->TimeContext("rosebud", "kane");
+  auto it = (*db)->recorder().download_map().find(dl);
+  if (it != (*db)->recorder().download_map().end()) {
+    (void)(*db)->TraceDownload(it->second);
+    (void)(*db)->DescendantDownloads("http://films.example/citizen-kane");
+  }
+  (void)(*db)->Sync();
+
+  std::fputs(text ? (*db)->DebugDumpText().c_str()
+                  : (*db)->DebugDump().c_str(),
+             stdout);
+  return 0;
+}

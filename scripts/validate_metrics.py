@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Validate a bp-metrics-v1 dump against scripts/metrics_schema.json.
+
+Dependency-free (stdlib only): implements exactly the JSON Schema subset
+the schema file uses — type, const, enum, required, properties, items,
+and allOf with if/then — so CI does not need jsonschema installed.
+
+Usage:
+    ./build/metrics_exporter | python3 scripts/validate_metrics.py
+    python3 scripts/validate_metrics.py --schema scripts/metrics_schema.json dump.json
+
+Beyond the schema, a few semantic checks on the content: the dump must
+carry at least one instrument of each kind the engine registers
+(histogram + counter), and histogram quantiles must be ordered
+(p50 <= p90 <= p99 <= max).
+
+Exit codes: 0 valid, 1 invalid, 2 usage.
+"""
+
+import argparse
+import json
+import sys
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+}
+
+
+def check(instance, schema, path, errors):
+    """Appends a message to errors for every violation under `path`."""
+    if "const" in schema and instance != schema["const"]:
+        errors.append(f"{path}: expected {schema['const']!r}, got {instance!r}")
+        return
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not one of {schema['enum']}")
+        return
+    if "type" in schema:
+        checker = TYPE_CHECKS.get(schema["type"])
+        if checker is None:
+            errors.append(f"{path}: schema uses unsupported type "
+                          f"{schema['type']!r}")
+            return
+        if not checker(instance):
+            errors.append(f"{path}: expected {schema['type']}, got "
+                          f"{type(instance).__name__}")
+            return
+    if isinstance(instance, dict):
+        for key in schema.get("required", []):
+            if key not in instance:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in instance:
+                check(instance[key], sub, f"{path}.{key}", errors)
+    if isinstance(instance, list) and "items" in schema:
+        for i, item in enumerate(instance):
+            check(item, schema["items"], f"{path}[{i}]", errors)
+    for clause in schema.get("allOf", []):
+        if "if" in clause:
+            trial = []
+            check(instance, clause["if"], path, trial)
+            if not trial and "then" in clause:
+                check(instance, clause["then"], path, errors)
+        else:
+            check(instance, clause, path, errors)
+
+
+def semantic_checks(dump, errors):
+    metrics = dump.get("metrics", [])
+    kinds = {m.get("type") for m in metrics if isinstance(m, dict)}
+    for needed in ("counter", "histogram"):
+        if needed not in kinds:
+            errors.append(f"$.metrics: no {needed} present — the engine "
+                          "always registers at least one")
+    for i, m in enumerate(metrics):
+        if not isinstance(m, dict) or m.get("type") != "histogram":
+            continue
+        p50, p90, p99 = m.get("p50", 0), m.get("p90", 0), m.get("p99", 0)
+        if not (p50 <= p90 <= p99 <= max(m.get("max", 0), p99)):
+            errors.append(f"$.metrics[{i}] ({m.get('name')}): quantiles out "
+                          f"of order: p50={p50} p90={p90} p99={p99} "
+                          f"max={m.get('max')}")
+        if m.get("count", 0) == 0 and m.get("sum", 0) != 0:
+            errors.append(f"$.metrics[{i}] ({m.get('name')}): sum without "
+                          "count")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--schema", default="scripts/metrics_schema.json")
+    parser.add_argument("dump", nargs="?",
+                        help="dump file; stdin when omitted")
+    args = parser.parse_args()
+
+    with open(args.schema) as f:
+        schema = json.load(f)
+    try:
+        if args.dump:
+            with open(args.dump) as f:
+                dump = json.load(f)
+        else:
+            dump = json.load(sys.stdin)
+    except json.JSONDecodeError as e:
+        print(f"validate_metrics: dump is not valid JSON: {e}",
+              file=sys.stderr)
+        return 1
+
+    errors = []
+    check(dump, schema, "$", errors)
+    semantic_checks(dump, errors)
+    if errors:
+        print("validate_metrics: INVALID", file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    print(f"validate_metrics: ok ({len(dump.get('metrics', []))} metrics, "
+          f"{len(dump.get('slow_spans', []))} slow spans)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/require.hpp"
 #include "util/strings.hpp"
 
@@ -23,6 +25,20 @@ IngestPipeline::IngestPipeline(PipelineOptions options, CommitFn commit,
       sync_(std::move(sync)) {
   // Check before the committer starts: the thread calls these blindly.
   BP_CHECK(commit_ != nullptr && sync_ != nullptr);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  enqueue_latency_us_ = reg.GetHistogram(
+      "bp_ingest_enqueue_us", "",
+      "Capture-side Enqueue latency (us), including backpressure waits");
+  commit_batch_latency_us_ = reg.GetHistogram(
+      "bp_ingest_commit_batch_us", "",
+      "Committer batch transaction latency (us)");
+  sync_latency_us_ = reg.GetHistogram(
+      "bp_ingest_sync_us", "", "Adaptive group-close sync latency (us)");
+  batch_events_ = reg.GetHistogram(
+      "bp_ingest_batch_events", "",
+      "Events coalesced per committer storage transaction");
+  queue_depth_gauge_ = reg.GetGauge("bp_ingest_queue_depth", "",
+                                    "Events waiting in the ingest queue");
   committer_ = std::thread([this] { CommitterLoop(); });
 }
 
@@ -42,6 +58,7 @@ IngestPipeline::~IngestPipeline() {
 
 Result<IngestPipeline::Ticket> IngestPipeline::Enqueue(
     const BrowserEvent& event) {
+  obs::ScopedTimerUs timer(enqueue_latency_us_);
   if (std::this_thread::get_id() == committer_.get_id()) {
     // A sink fed back into its own pipeline (e.g. async_sink()
     // subscribed to the bus the committer publishes to) would
@@ -74,6 +91,11 @@ Result<IngestPipeline::Ticket> IngestPipeline::Enqueue(
   ++stats_.enqueued;
   stats_.max_queue_depth =
       std::max<uint64_t>(stats_.max_queue_depth, queue_.size());
+  // Depth is sampled at both transition points (here and at batch pop):
+  // see PipelineStats::mean_queue_depth.
+  ++depth_samples_;
+  depth_sum_ += queue_.size();
+  queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
   work_cv_.notify_one();
   return ticket;
 }
@@ -137,11 +159,18 @@ void IngestPipeline::CommitterLoop() {
       popped_ = batch_last;
       const size_t backlog = queue_.size();
       ++depth_samples_;
-      depth_sum_ += n + backlog;
+      depth_sum_ += backlog;
+      queue_depth_gauge_->Set(static_cast<int64_t>(backlog));
+      batch_events_->Record(n);
       space_cv_.notify_all();
 
       lock.unlock();
-      Result<bool> durable = commit_(std::move(batch), backlog);
+      Result<bool> durable = false;
+      {
+        obs::ScopedTimerUs batch_timer(commit_batch_latency_us_);
+        obs::ScopedSpan span("pipeline.commit_batch");
+        durable = commit_(std::move(batch), backlog);
+      }
       lock.lock();
 
       if (!durable.ok()) {
@@ -162,7 +191,12 @@ void IngestPipeline::CommitterLoop() {
     if (status_.ok() && durable_ < committed_ &&
         (queue_.empty() || flush_target_ > durable_)) {
       lock.unlock();
-      Status synced = sync_();
+      Status synced;
+      {
+        obs::ScopedTimerUs sync_timer(sync_latency_us_);
+        obs::ScopedSpan span("pipeline.sync");
+        synced = sync_();
+      }
       lock.lock();
       if (!synced.ok()) {
         status_ = synced;

@@ -44,6 +44,11 @@
 #include "capture/events.hpp"
 #include "util/status.hpp"
 
+namespace bp::obs {
+class Gauge;
+class Histogram;
+}  // namespace bp::obs
+
 namespace bp::capture {
 
 enum class BackpressurePolicy : uint8_t {
@@ -70,7 +75,12 @@ struct PipelineStats {
   uint64_t rejected = 0;        // kReject refusals on a full queue
   uint64_t blocked_enqueues = 0;  // kBlock waits on a full queue
   uint64_t max_queue_depth = 0;   // deepest the queue ever got
-  double mean_queue_depth = 0;    // mean depth sampled at each batch pop
+  // Mean depth over samples taken at BOTH transition points — after
+  // every enqueue and after every batch pop — so bursts the committer
+  // drains between enqueues and idle stretches both weigh in (sampling
+  // only at pops overstated the mean under bursty load: pops see the
+  // queue at its fullest).
+  double mean_queue_depth = 0;
 };
 
 class IngestPipeline {
@@ -148,6 +158,15 @@ class IngestPipeline {
   PipelineStats stats_;
   uint64_t depth_samples_ = 0;
   uint64_t depth_sum_ = 0;
+
+  // Observability (src/obs): process-wide stage-latency histograms and
+  // the live queue-depth gauge, fetched once at construction.
+  // Registry-owned; no unregistration needed (instruments are eternal).
+  obs::Histogram* enqueue_latency_us_ = nullptr;
+  obs::Histogram* commit_batch_latency_us_ = nullptr;
+  obs::Histogram* sync_latency_us_ = nullptr;
+  obs::Histogram* batch_events_ = nullptr;
+  obs::Gauge* queue_depth_gauge_ = nullptr;
   // Declared last: starts after every member above is initialized.
   std::thread committer_;
 };

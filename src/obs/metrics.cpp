@@ -1,0 +1,352 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <chrono>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace bp::obs {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// JSON string escaping for names/labels/help (they may carry quotes).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  // %.17g round-trips doubles; integers stay integer-looking.
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    return util::StrFormat("%lld", static_cast<long long>(v));
+  }
+  return util::StrFormat("%.17g", v);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- Counter
+
+size_t Counter::StripeIndex() {
+  // One stripe per thread, assigned round-robin at first use: cheaper
+  // and better-spread than hashing the thread id on every Add.
+  static std::atomic<size_t> next{0};
+  thread_local size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return stripe;
+}
+
+// ----------------------------------------------------------- Histogram
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<size_t>(value);
+  // exponent >= 3 since value >= kSubBuckets = 2^3. The top 4 bits of
+  // the value (leading one + 3 sub-bucket bits) pick the bucket.
+  const int exponent = 63 - std::countl_zero(value);
+  const uint64_t mantissa = value >> (exponent - 3);  // in [8, 16)
+  return static_cast<size_t>(exponent - 3) * kSubBuckets +
+         static_cast<size_t>(mantissa);
+}
+
+uint64_t Histogram::BucketLowerBound(size_t index) {
+  if (index < 2 * kSubBuckets) return index;  // width-1 buckets
+  const int block = static_cast<int>(index / kSubBuckets);  // >= 2
+  const uint64_t mantissa = kSubBuckets + index % kSubBuckets;
+  return mantissa << (block - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t index) {
+  if (index < 2 * kSubBuckets) return index + 1;
+  const int block = static_cast<int>(index / kSubBuckets);
+  return BucketLowerBound(index) + (uint64_t{1} << (block - 1));
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample (1-based), nearest-rank definition.
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      const uint64_t lo = BucketLowerBound(i);
+      const uint64_t hi = BucketUpperBound(i);
+      const double mid = (static_cast<double>(lo) + static_cast<double>(hi)) / 2.0;
+      // The true sample cannot exceed the recorded max.
+      const double cap = static_cast<double>(max());
+      return mid < cap ? mid : cap;
+    }
+  }
+  // Racing records moved count ahead of the buckets; the max is the
+  // best remaining estimate.
+  return static_cast<double>(max());
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count();
+  s.sum = sum();
+  s.max = max();
+  s.mean = mean();
+  s.p50 = Quantile(0.50);
+  s.p90 = Quantile(0.90);
+  s.p99 = Quantile(0.99);
+  return s;
+}
+
+ScopedTimerUs::ScopedTimerUs(Histogram* h) : h_(h) {
+  if (h_ != nullptr) start_ns_ = NowNs();
+}
+
+ScopedTimerUs::~ScopedTimerUs() {
+  if (h_ != nullptr) h_->Record((NowNs() - start_ns_) / 1000);
+}
+
+// ------------------------------------------------------ MetricsRegistry
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked intentionally: instruments are recorded into from arbitrary
+  // threads up to process exit (static destruction order is unknowable).
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Instrument* MetricsRegistry::FindOrCreate(
+    const std::string& name, const std::string& labels,
+    const std::string& help, Kind kind) {
+  const std::string key = name + "{" + labels + "}";
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = instruments_.find(key);
+  if (it != instruments_.end()) return it->second.get();
+  auto inst = std::make_unique<Instrument>();
+  inst->name = name;
+  inst->labels = labels;
+  inst->help = help;
+  inst->kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      inst->counter = std::make_unique<obs::Counter>();
+      break;
+    case Kind::kGauge:
+      inst->gauge = std::make_unique<obs::Gauge>();
+      break;
+    case Kind::kHistogram:
+      inst->histogram = std::make_unique<obs::Histogram>();
+      break;
+  }
+  Instrument* raw = inst.get();
+  instruments_.emplace(key, std::move(inst));
+  return raw;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& labels,
+                                     const std::string& help) {
+  return FindOrCreate(name, labels, help, Kind::kCounter)->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& labels,
+                                 const std::string& help) {
+  return FindOrCreate(name, labels, help, Kind::kGauge)->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& labels,
+                                         const std::string& help) {
+  return FindOrCreate(name, labels, help, Kind::kHistogram)->histogram.get();
+}
+
+uint64_t MetricsRegistry::AddCollector(CollectFn collect) {
+  std::lock_guard<std::mutex> lock(collector_mu_);
+  uint64_t token = next_collector_++;
+  collectors_.emplace(token, std::move(collect));
+  return token;
+}
+
+void MetricsRegistry::RemoveCollector(uint64_t token) {
+  std::lock_guard<std::mutex> lock(collector_mu_);
+  collectors_.erase(token);
+}
+
+std::vector<CollectedSample> MetricsRegistry::Collect() const {
+  // Collectors run while collector_mu_ is held, so RemoveCollector
+  // cannot return while a dump is still calling into the instance being
+  // torn down — that is what makes "remove before destroy" sufficient.
+  // collector_mu_ is distinct from mu_ so collectors may call back into
+  // Get*/FindOrCreate; they must not Add/RemoveCollector (self-deadlock).
+  std::lock_guard<std::mutex> lock(collector_mu_);
+  CollectionSink sink;
+  for (const auto& [token, fn] : collectors_) fn(sink);
+  return std::move(sink.samples);
+}
+
+std::string MetricsRegistry::DumpJsonMetricsArray() const {
+  std::string out = "[";
+  bool first = true;
+  auto entry_head = [&](const std::string& name, const std::string& labels,
+                        const std::string& help, const char* type) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += util::StrFormat(
+        "    {\"name\": \"%s\", \"type\": \"%s\", \"labels\": \"%s\", "
+        "\"help\": \"%s\"",
+        JsonEscape(name).c_str(), type, JsonEscape(labels).c_str(),
+        JsonEscape(help).c_str());
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, inst] : instruments_) {
+      switch (inst->kind) {
+        case Kind::kCounter:
+          entry_head(inst->name, inst->labels, inst->help, "counter");
+          out += util::StrFormat(
+              ", \"value\": %llu}",
+              (unsigned long long)inst->counter->value());
+          break;
+        case Kind::kGauge:
+          entry_head(inst->name, inst->labels, inst->help, "gauge");
+          out += util::StrFormat(", \"value\": %lld}",
+                                 (long long)inst->gauge->value());
+          break;
+        case Kind::kHistogram: {
+          Histogram::Snapshot s = inst->histogram->snapshot();
+          entry_head(inst->name, inst->labels, inst->help, "histogram");
+          out += util::StrFormat(
+              ", \"count\": %llu, \"sum\": %llu, \"max\": %llu, "
+              "\"mean\": %s, \"p50\": %s, \"p90\": %s, \"p99\": %s}",
+              (unsigned long long)s.count, (unsigned long long)s.sum,
+              (unsigned long long)s.max, JsonNumber(s.mean).c_str(),
+              JsonNumber(s.p50).c_str(), JsonNumber(s.p90).c_str(),
+              JsonNumber(s.p99).c_str());
+          break;
+        }
+      }
+    }
+  }
+  for (const CollectedSample& s : Collect()) {
+    entry_head(s.name, s.labels, s.help,
+               s.kind == CollectedSample::Kind::kCounter ? "counter"
+                                                         : "gauge");
+    out += util::StrFormat(", \"value\": %s}", JsonNumber(s.value).c_str());
+  }
+  out += "\n  ]";
+  return out;
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  return "{\n  \"schema\": \"bp-metrics-v1\",\n  \"metrics\": " +
+         DumpJsonMetricsArray() + "\n}\n";
+}
+
+std::string MetricsRegistry::DumpText() const {
+  std::string out;
+  auto header = [&](const std::string& name, const std::string& help,
+                    const char* type) {
+    if (!help.empty()) out += "# HELP " + name + " " + help + "\n";
+    out += std::string("# TYPE ") + name + " " + type + "\n";
+  };
+  auto sample = [&](const std::string& name, const std::string& labels,
+                    const std::string& extra_label, const std::string& value) {
+    out += name;
+    if (!labels.empty() || !extra_label.empty()) {
+      out += "{" + labels;
+      if (!labels.empty() && !extra_label.empty()) out += ",";
+      out += extra_label + "}";
+    }
+    out += " " + value + "\n";
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, inst] : instruments_) {
+      switch (inst->kind) {
+        case Kind::kCounter:
+          header(inst->name, inst->help, "counter");
+          sample(inst->name, inst->labels, "",
+                 util::StrFormat("%llu",
+                                 (unsigned long long)inst->counter->value()));
+          break;
+        case Kind::kGauge:
+          header(inst->name, inst->help, "gauge");
+          sample(inst->name, inst->labels, "",
+                 util::StrFormat("%lld", (long long)inst->gauge->value()));
+          break;
+        case Kind::kHistogram: {
+          Histogram::Snapshot s = inst->histogram->snapshot();
+          header(inst->name, inst->help, "summary");
+          sample(inst->name, inst->labels, "quantile=\"0.5\"",
+                 JsonNumber(s.p50));
+          sample(inst->name, inst->labels, "quantile=\"0.9\"",
+                 JsonNumber(s.p90));
+          sample(inst->name, inst->labels, "quantile=\"0.99\"",
+                 JsonNumber(s.p99));
+          sample(inst->name + "_sum", inst->labels, "",
+                 util::StrFormat("%llu", (unsigned long long)s.sum));
+          sample(inst->name + "_count", inst->labels, "",
+                 util::StrFormat("%llu", (unsigned long long)s.count));
+          sample(inst->name + "_max", inst->labels, "",
+                 util::StrFormat("%llu", (unsigned long long)s.max));
+          break;
+        }
+      }
+    }
+  }
+  for (const CollectedSample& s : Collect()) {
+    header(s.name, s.help,
+           s.kind == CollectedSample::Kind::kCounter ? "counter" : "gauge");
+    sample(s.name, s.labels, "", JsonNumber(s.value));
+  }
+  return out;
+}
+
+}  // namespace bp::obs

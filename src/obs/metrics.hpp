@@ -1,0 +1,255 @@
+// Process-wide metrics: one registry of named instruments behind every
+// subsystem's counters, so a deployment (or a bench, or DebugDump) sees
+// the whole engine through a single exporter instead of hand-collecting
+// per-subsystem stat structs.
+//
+// Three instrument kinds, all safe to record from any thread and cheap
+// enough for hot paths:
+//
+//   Counter   — monotone. Lock-striped: increments land on one of
+//               kStripes cache-line-padded relaxed atomics chosen by the
+//               calling thread, so concurrent capture threads never
+//               bounce one cache line; value() folds the stripes.
+//   Gauge     — last-written level (queue depth, resident bytes).
+//   Histogram — log-bucketed latency/size distribution. Buckets are
+//               exact below kSubBuckets and then kSubBuckets linear
+//               sub-buckets per power of two, so any recorded value
+//               lands in a bucket whose width is at most 1/kSubBuckets
+//               of its lower bound: quantile estimates (bucket
+//               midpoints) are within ±1/(2*kSubBuckets) = ±6.25%
+//               relative error of the true sample quantile. Recording
+//               is a handful of relaxed atomic adds — no lock, no
+//               allocation.
+//
+// Registration is by (name, labels): the first caller creates the
+// instrument, later callers get the same pointer, and pointers stay
+// valid for the life of the registry (instruments are never removed).
+// Subsystems that already keep per-instance snapshot structs
+// (PagerStats, PipelineStats, ...) fold into the registry through
+// COLLECTORS: a callback registered per instance that reports current
+// values at dump time — one source of truth for exporters without
+// double-counting on the hot path.
+//
+// Exporters: DumpJson() (machine-readable, schema "bp-metrics-v1",
+// validated in CI against scripts/metrics_schema.json) and DumpText()
+// (Prometheus-style text: counters/gauges as samples, histograms as
+// summaries with quantile labels). ProvenanceDb::DebugDump() wraps both
+// with the slow-span log (obs/trace.hpp).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bp::obs {
+
+// ------------------------------------------------------------- Counter
+
+class Counter {
+ public:
+  static constexpr size_t kStripes = 8;
+
+  // Relaxed add onto this thread's stripe. Monotone: n is unsigned.
+  void Add(uint64_t n = 1) {
+    cells_[StripeIndex()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  // Sum over the stripes. Concurrent adds may or may not be included
+  // (each stripe is read atomically; the fold is not a snapshot).
+  uint64_t value() const {
+    uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  static size_t StripeIndex();
+
+  std::array<Cell, kStripes> cells_;
+};
+
+// --------------------------------------------------------------- Gauge
+
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+// ----------------------------------------------------------- Histogram
+
+class Histogram {
+ public:
+  // 8 sub-buckets per power of two: bucket width <= lower_bound / 8.
+  static constexpr uint64_t kSubBuckets = 8;
+  static constexpr size_t kBucketCount = 61 * kSubBuckets + kSubBuckets;
+
+  // The bucket a value lands in, and the bucket's inclusive lower /
+  // exclusive upper bound. Exposed for the bucket-boundary tests.
+  static size_t BucketIndex(uint64_t value);
+  static uint64_t BucketLowerBound(size_t index);
+  static uint64_t BucketUpperBound(size_t index);  // exclusive
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const {
+    uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+
+  // Estimate of the q-quantile (q in [0, 1]): the midpoint of the
+  // bucket holding the ceil(q * count)-th sample, clamped to the
+  // recorded max. Within ±1/(2*kSubBuckets) relative error of the true
+  // sample quantile. 0 when empty. Concurrent-record safe (the walk
+  // reads each bucket atomically; a racing Record may or may not be
+  // counted).
+  double Quantile(double q) const;
+
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t max = 0;
+    double mean = 0;
+    double p50 = 0, p90 = 0, p99 = 0;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+  std::array<std::atomic<uint64_t>, kBucketCount> buckets_{};
+};
+
+// Records the elapsed wall time of a scope into a histogram, in
+// microseconds. Null histogram = no-op (instrumentation off).
+class ScopedTimerUs {
+ public:
+  explicit ScopedTimerUs(Histogram* h);
+  ~ScopedTimerUs();
+  ScopedTimerUs(const ScopedTimerUs&) = delete;
+  ScopedTimerUs& operator=(const ScopedTimerUs&) = delete;
+
+ private:
+  Histogram* h_;
+  uint64_t start_ns_ = 0;
+};
+
+// ------------------------------------------------------ MetricsRegistry
+
+// One sample a collector reports at dump time. `labels` is the
+// Prometheus label body without braces (e.g. `db="history.db"`), empty
+// for none.
+struct CollectedSample {
+  enum class Kind { kCounter, kGauge };
+  std::string name;
+  std::string labels;
+  std::string help;
+  Kind kind = Kind::kCounter;
+  double value = 0;
+};
+
+// The sink a collector writes into (see MetricsRegistry::AddCollector).
+class CollectionSink {
+ public:
+  void Counter(std::string name, std::string labels, std::string help,
+               double value) {
+    samples.push_back({std::move(name), std::move(labels), std::move(help),
+                       CollectedSample::Kind::kCounter, value});
+  }
+  void Gauge(std::string name, std::string labels, std::string help,
+             double value) {
+    samples.push_back({std::move(name), std::move(labels), std::move(help),
+                       CollectedSample::Kind::kGauge, value});
+  }
+
+  std::vector<CollectedSample> samples;
+};
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry every subsystem records into. Tests may
+  // construct private registries.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create by (name, labels). The returned pointer is stable
+  // for the registry's lifetime; `help` is kept from the first caller.
+  Counter* GetCounter(const std::string& name, const std::string& labels,
+                      const std::string& help);
+  Gauge* GetGauge(const std::string& name, const std::string& labels,
+                  const std::string& help);
+  Histogram* GetHistogram(const std::string& name, const std::string& labels,
+                          const std::string& help);
+
+  // Pull-model bridge for subsystems that keep per-instance snapshot
+  // structs: `collect` runs at every dump and reports current values.
+  // Returns a token for RemoveCollector — an instance MUST remove its
+  // collector before it is destroyed (RemoveCollector blocks until any
+  // in-flight dump has finished running the callback, so removal makes
+  // teardown safe). Collectors may create/record instruments but must
+  // not call Add/RemoveCollector themselves.
+  using CollectFn = std::function<void(CollectionSink&)>;
+  uint64_t AddCollector(CollectFn collect);
+  void RemoveCollector(uint64_t token);
+
+  // {"schema": "bp-metrics-v1", "metrics": [ {...}, ... ]}. Each entry
+  // carries name/type/labels/help plus value (counter, gauge) or
+  // count/sum/max/mean/p50/p90/p99 (histogram).
+  std::string DumpJson() const;
+  // The metrics array alone (no wrapper object) — DebugDump composes it
+  // with the slow-span log.
+  std::string DumpJsonMetricsArray() const;
+  // Prometheus-style text: HELP/TYPE comments, counters and gauges as
+  // plain samples, histograms as summaries (quantile label + _sum,
+  // _count, _max).
+  std::string DumpText() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Instrument {
+    std::string name;
+    std::string labels;
+    std::string help;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Instrument* FindOrCreate(const std::string& name, const std::string& labels,
+                           const std::string& help, Kind kind);
+  std::vector<CollectedSample> Collect() const;
+
+  mutable std::mutex mu_;
+  // Keyed by name + "{" + labels + "}" so label variants coexist;
+  // ordered so dumps are deterministic.
+  std::map<std::string, std::unique_ptr<Instrument>> instruments_;
+  // Separate lock so collectors can call back into Get* (which takes
+  // mu_) while a dump holds collector_mu_.
+  mutable std::mutex collector_mu_;
+  std::map<uint64_t, CollectFn> collectors_;
+  uint64_t next_collector_ = 1;
+};
+
+}  // namespace bp::obs

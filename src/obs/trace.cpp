@@ -1,0 +1,116 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+
+#include "util/strings.hpp"
+
+namespace bp::obs {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// The active span names of this thread, innermost last. Fixed-size: a
+// span past kMaxDepth is timed but not stacked (depth clamped).
+struct SpanStack {
+  const char* names[Tracer::kMaxDepth] = {};
+  uint32_t depth = 0;
+};
+
+SpanStack& ThreadStack() {
+  thread_local SpanStack stack;
+  return stack;
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  // Leaked for the same reason as MetricsRegistry::Global: spans may
+  // close on arbitrary threads during process teardown.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::RecordSlow(SlowSpan span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < kRingCapacity) {
+    ring_.push_back(std::move(span));
+    return;
+  }
+  ring_[next_] = std::move(span);
+  next_ = (next_ + 1) % kRingCapacity;
+  ++dropped_;
+}
+
+std::vector<SlowSpan> Tracer::SlowSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SlowSpan> out;
+  out.reserve(ring_.size());
+  // Oldest first: once the ring wrapped, next_ points at the oldest.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  dropped_ = 0;
+}
+
+std::string Tracer::DumpJsonSpans() const {
+  uint64_t dropped;
+  std::vector<SlowSpan> spans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dropped = dropped_;
+  }
+  spans = SlowSpans();
+  std::string out = util::StrFormat(
+      "\"slow_span_threshold_us\": %llu, \"slow_spans_dropped\": %llu, "
+      "\"slow_spans\": [",
+      (unsigned long long)slow_threshold_us(), (unsigned long long)dropped);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SlowSpan& s = spans[i];
+    out += util::StrFormat(
+        "%s\n    {\"name\": \"%s\", \"parent\": \"%s\", "
+        "\"duration_us\": %llu, \"depth\": %u}",
+        i == 0 ? "" : ",", s.name.c_str(), s.parent.c_str(),
+        (unsigned long long)s.duration_us, s.depth);
+  }
+  out += spans.empty() ? "]" : "\n  ]";
+  return out;
+}
+
+ScopedSpan::ScopedSpan(const char* name, Tracer* tracer)
+    : tracer_(tracer), name_(name), start_ns_(NowNs()) {
+  SpanStack& stack = ThreadStack();
+  depth_ = stack.depth;
+  if (stack.depth < Tracer::kMaxDepth) stack.names[stack.depth] = name;
+  ++stack.depth;
+}
+
+ScopedSpan::~ScopedSpan() {
+  SpanStack& stack = ThreadStack();
+  --stack.depth;
+  const uint64_t duration_us = (NowNs() - start_ns_) / 1000;
+  if (duration_us < tracer_->slow_threshold_us()) return;
+  SlowSpan span;
+  span.name = name_;
+  if (depth_ > 0 && depth_ <= Tracer::kMaxDepth) {
+    span.parent = stack.names[depth_ - 1];
+  }
+  span.duration_us = duration_us;
+  span.end_ns = start_ns_ + duration_us * 1000;
+  span.depth = depth_;
+  tracer_->RecordSlow(std::move(span));
+}
+
+}  // namespace bp::obs

@@ -1,0 +1,94 @@
+// Lightweight hot-path tracing: scoped spans on a thread-local stack,
+// with a process-wide ring buffer of recent SLOW spans.
+//
+// A ScopedSpan costs two steady-clock reads and two thread-local writes
+// — cheap enough to leave on in production around operation-granularity
+// scopes (a commit, a query, a checkpoint; not per page). When a span's
+// duration crosses the tracer's threshold it is pushed, with its name,
+// nesting depth, and enclosing span's name, into a fixed-size ring: the
+// "slow-op log" DebugDump exposes, answering "what was the engine doing
+// during that p99 spike" without a profiler attached.
+//
+//   { obs::ScopedSpan span("pager.commit");
+//     ... }                       // recorded iff it ran >= threshold
+//
+//   obs::Tracer::Global().set_slow_threshold_us(500);
+//   for (const obs::SlowSpan& s : obs::Tracer::Global().SlowSpans()) ...
+//
+// Spans nested deeper than kMaxDepth are timed but never recorded
+// (depth is clamped, never UB). The ring is mutex-protected — only slow
+// spans (rare by definition) ever take the lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bp::obs {
+
+struct SlowSpan {
+  std::string name;
+  std::string parent;    // enclosing span's name, "" at top level
+  uint64_t duration_us = 0;
+  uint64_t end_ns = 0;   // steady-clock end time (ordering key)
+  uint32_t depth = 0;    // 0 = top level
+};
+
+class Tracer {
+ public:
+  static constexpr size_t kRingCapacity = 256;
+  static constexpr size_t kMaxDepth = 16;
+
+  static Tracer& Global();
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Spans at least this long are kept in the ring. Default 1ms — an
+  // operation that slow is worth a log line in a latency-sensitive
+  // capture path. 0 records every span (tests, examples).
+  void set_slow_threshold_us(uint64_t us) {
+    threshold_us_.store(us, std::memory_order_relaxed);
+  }
+  uint64_t slow_threshold_us() const {
+    return threshold_us_.load(std::memory_order_relaxed);
+  }
+
+  // The retained slow spans, oldest first. Thread-safe.
+  std::vector<SlowSpan> SlowSpans() const;
+  void Clear();
+
+  // {"slow_span_threshold_us": N, "slow_spans": [ {...}, ... ]} body —
+  // composed into ProvenanceDb::DebugDump.
+  std::string DumpJsonSpans() const;
+
+ private:
+  friend class ScopedSpan;
+  void RecordSlow(SlowSpan span);
+
+  std::atomic<uint64_t> threshold_us_{1000};
+  mutable std::mutex mu_;
+  std::vector<SlowSpan> ring_;  // capped at kRingCapacity
+  size_t next_ = 0;             // ring cursor once full
+  uint64_t dropped_ = 0;        // spans overwritten after the ring filled
+};
+
+class ScopedSpan {
+ public:
+  // `name` must outlive the span (string literals in practice).
+  explicit ScopedSpan(const char* name, Tracer* tracer = &Tracer::Global());
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  uint64_t start_ns_;
+  uint32_t depth_;  // this span's level on the thread-local stack
+};
+
+}  // namespace bp::obs

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace bp::prov {
 
 using util::Result;
@@ -10,6 +13,7 @@ using util::Status;
 Result<std::unique_ptr<ProvenanceDb>> ProvenanceDb::Open(
     const std::string& path, Options options) {
   std::unique_ptr<ProvenanceDb> out(new ProvenanceDb());
+  out->path_ = path;
   out->ingest_batch_ = std::max<size_t>(1, options.ingest_batch);
   BP_ASSIGN_OR_RETURN(out->db_, storage::Db::Open(path, options.db));
   BP_ASSIGN_OR_RETURN(out->store_,
@@ -19,6 +23,23 @@ Result<std::unique_ptr<ProvenanceDb>> ProvenanceDb::Open(
   out->bus_.Subscribe(out->recorder_.get());
   BP_ASSIGN_OR_RETURN(out->searcher_,
                       search::HistorySearcher::Open(*out->db_, *out->store_));
+
+  // Per-family one-shot query latency histograms: one bp_query_us
+  // distribution per query family, shared process-wide (the family
+  // label is the axis; per-database attribution is what the `db` label
+  // on collector samples is for).
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  auto family_hist = [&reg](const char* family) {
+    return reg.GetHistogram(
+        "bp_query_us", std::string("family=\"") + family + "\"",
+        "One-shot query latency by family (us)");
+  };
+  out->query_us_search_ = family_hist("search");
+  out->query_us_textual_ = family_hist("textual_search");
+  out->query_us_personalize_ = family_hist("personalize");
+  out->query_us_time_context_ = family_hist("time_context");
+  out->query_us_trace_ = family_hist("trace_download");
+  out->query_us_descendants_ = family_hist("descendant_downloads");
 
   // Stand the async pipeline up LAST: its committer thread reaches into
   // every member above from the moment it starts.
@@ -40,11 +61,43 @@ Result<std::unique_ptr<ProvenanceDb>> ProvenanceDb::Open(
           return raw->CommitEventBatch(std::move(events), backlog);
         },
         [raw] { return raw->SyncPipeline(); });
+    // Export the pipeline's own counters at dump time (the Pager
+    // registers its collector itself in Pager::Open). Safe raw capture:
+    // the destructor removes the collector before touching pipeline_.
+    out->metrics_token_ = reg.AddCollector([raw](obs::CollectionSink& sink) {
+      const capture::PipelineStats p = raw->pipeline_stats();
+      const std::string labels = "db=\"" + raw->path_ + "\"";
+      sink.Counter("bp_ingest_enqueued", labels,
+                   "Events accepted into the ingest queue", p.enqueued);
+      sink.Counter("bp_ingest_committed", labels,
+                   "Events whose transaction committed", p.committed);
+      sink.Counter("bp_ingest_batches", labels,
+                   "Storage transactions the committer ran", p.batches);
+      sink.Counter("bp_ingest_coalesced_txns", labels,
+                   "Batches carrying more than one event", p.coalesced_txns);
+      sink.Counter("bp_ingest_early_flushes", labels,
+                   "Group-commit windows closed early", p.early_flushes);
+      sink.Counter("bp_ingest_rejected", labels,
+                   "Enqueues refused on a full queue", p.rejected);
+      sink.Counter("bp_ingest_blocked_enqueues", labels,
+                   "Enqueues that waited on a full queue",
+                   p.blocked_enqueues);
+      sink.Gauge("bp_ingest_max_queue_depth", labels,
+                 "Deepest the ingest queue ever got", p.max_queue_depth);
+      sink.Gauge("bp_ingest_mean_queue_depth", labels,
+                 "Mean queue depth over enqueue/pop samples",
+                 p.mean_queue_depth);
+    });
   }
   return out;
 }
 
 ProvenanceDb::~ProvenanceDb() {
+  // Detach from the metrics registry first: RemoveCollector blocks out
+  // in-flight dumps, so no dump can reach pipeline_ mid-teardown.
+  if (metrics_token_ != 0) {
+    obs::MetricsRegistry::Global().RemoveCollector(metrics_token_);
+  }
   // Join the committer (draining what it can) before any member it
   // reaches into goes away.
   pipeline_.reset();
@@ -310,6 +363,8 @@ graph::NodeCursor ProvenanceDb::SnapshotView::Nodes(
 Result<search::ContextualSearchResult> ProvenanceDb::Search(
     const std::string& query,
     const search::ContextualSearchOptions& options) {
+  obs::ScopedTimerUs timer(query_us_search_);
+  obs::ScopedSpan span("query.search");
   return OneShot(
       /*with_searcher=*/true,
       [&](SnapshotView& view) { return view.Search(query, options); },
@@ -321,6 +376,8 @@ Result<search::ContextualSearchResult> ProvenanceDb::Search(
 
 Result<search::ContextualSearchResult> ProvenanceDb::TextualSearch(
     const std::string& query, size_t k) {
+  obs::ScopedTimerUs timer(query_us_textual_);
+  obs::ScopedSpan span("query.textual_search");
   return OneShot(
       /*with_searcher=*/true,
       [&](SnapshotView& view) { return view.TextualSearch(query, k); },
@@ -332,6 +389,8 @@ Result<search::ContextualSearchResult> ProvenanceDb::TextualSearch(
 
 Result<search::PersonalizationResult> ProvenanceDb::Personalize(
     const std::string& query, const search::PersonalizeOptions& options) {
+  obs::ScopedTimerUs timer(query_us_personalize_);
+  obs::ScopedSpan span("query.personalize");
   return OneShot(
       /*with_searcher=*/true,
       [&](SnapshotView& view) { return view.Personalize(query, options); },
@@ -344,6 +403,8 @@ Result<search::PersonalizationResult> ProvenanceDb::Personalize(
 Result<search::TimeContextResult> ProvenanceDb::TimeContext(
     const std::string& primary_query, const std::string& context_query,
     const search::TimeContextOptions& options) {
+  obs::ScopedTimerUs timer(query_us_time_context_);
+  obs::ScopedSpan span("query.time_context");
   return OneShot(
       /*with_searcher=*/true,
       [&](SnapshotView& view) {
@@ -358,6 +419,8 @@ Result<search::TimeContextResult> ProvenanceDb::TimeContext(
 
 Result<search::LineageReport> ProvenanceDb::TraceDownload(
     graph::NodeId download, const search::LineageOptions& options) {
+  obs::ScopedTimerUs timer(query_us_trace_);
+  obs::ScopedSpan span("query.trace_download");
   return OneShot(
       /*with_searcher=*/false,
       [&](SnapshotView& view) {
@@ -370,6 +433,8 @@ Result<search::LineageReport> ProvenanceDb::TraceDownload(
 
 Result<search::DescendantReport> ProvenanceDb::DescendantDownloads(
     const std::string& url, const search::LineageOptions& options) {
+  obs::ScopedTimerUs timer(query_us_descendants_);
+  obs::ScopedSpan span("query.descendant_downloads");
   return OneShot(
       /*with_searcher=*/false,
       [&](SnapshotView& view) {
@@ -378,6 +443,18 @@ Result<search::DescendantReport> ProvenanceDb::DescendantDownloads(
       [&]() -> Result<search::DescendantReport> {
         return search::DescendantDownloads(*store_, url, options);
       });
+}
+
+// --------------------------------------------------- observability
+
+std::string ProvenanceDb::DebugDump() const {
+  return "{\n  \"schema\": \"bp-metrics-v1\",\n  \"metrics\": " +
+         obs::MetricsRegistry::Global().DumpJsonMetricsArray() + ",\n  " +
+         obs::Tracer::Global().DumpJsonSpans() + "\n}\n";
+}
+
+std::string ProvenanceDb::DebugDumpText() const {
+  return obs::MetricsRegistry::Global().DumpText();
 }
 
 }  // namespace bp::prov

@@ -64,6 +64,10 @@
 #include "storage/snapshot.hpp"
 #include "util/status.hpp"
 
+namespace bp::obs {
+class Histogram;
+}  // namespace bp::obs
+
 namespace bp::prov {
 
 class ProvenanceDb {
@@ -335,6 +339,19 @@ class ProvenanceDb {
     return db_->pager().stats();
   }
 
+  // -------------------------------------------------- observability
+  //
+  // One-stop debug export of the whole engine: every registry
+  // instrument — the process-wide latency histograms (WAL commit/fsync,
+  // ingest stages, per-family query latency) plus each live subsystem's
+  // counters, exported through pull collectors — and the slow-span ring
+  // (obs/trace.hpp). DebugDump() is JSON (schema "bp-metrics-v1",
+  // validated in CI against scripts/metrics_schema.json);
+  // DebugDumpText() is Prometheus-style text. Safe from any thread;
+  // both are dump-time exports that take no hot-path locks.
+  std::string DebugDump() const;
+  std::string DebugDumpText() const;
+
   // --------------------------------------------------- layer access
   //
   // The facade is the supported entry point; the layers stay reachable
@@ -409,6 +426,7 @@ class ProvenanceDb {
   // never take it.
   std::recursive_mutex mu_;
 
+  std::string path_;  // database path: the `db` label on exported samples
   std::unique_ptr<storage::Db> db_;
   std::unique_ptr<ProvStore> store_;
   std::unique_ptr<capture::ProvenanceRecorder> recorder_;
@@ -432,6 +450,19 @@ class ProvenanceDb {
   // MaybeDrainForQuery a no-op.
   std::atomic<int> user_batches_{0};
   std::unique_ptr<capture::AsyncSink> async_sink_;
+
+  // Observability: one bp_query_us histogram per query family (labels
+  // family="search" etc.), recorded by the one-shot facade methods.
+  // Registry-owned, fetched once at Open.
+  obs::Histogram* query_us_search_ = nullptr;
+  obs::Histogram* query_us_textual_ = nullptr;
+  obs::Histogram* query_us_personalize_ = nullptr;
+  obs::Histogram* query_us_time_context_ = nullptr;
+  obs::Histogram* query_us_trace_ = nullptr;
+  obs::Histogram* query_us_descendants_ = nullptr;
+  // Pull collector exporting pipeline_stats(); removed in the
+  // destructor BEFORE the pipeline is torn down.
+  uint64_t metrics_token_ = 0;
   // Declared last (and reset first in the destructor): joining the
   // committer must happen while every member it reaches into is alive.
   std::unique_ptr<capture::IngestPipeline> pipeline_;

@@ -170,6 +170,9 @@ BufferPoolStats BufferPool::stats() const {
     out.pinned_skips += shard.pinned_skips;
     out.bytes += shard.bytes;
     out.frames += shard.frames.size();
+    for (const auto& [key, frame] : shard.frames) {
+      if (frame->data.use_count() > 1) out.pinned_bytes += frame->data->size();
+    }
   }
   return out;
 }

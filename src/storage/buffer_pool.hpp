@@ -80,6 +80,11 @@ struct BufferPoolStats {
   uint64_t pinned_skips = 0; // eviction scans that spared a pinned frame
   uint64_t bytes = 0;        // resident image bytes right now
   uint64_t frames = 0;       // resident frames right now
+  // Bytes of frames currently referenced outside the pool (a live
+  // PageView or caller-held image) — the un-evictable floor. Computed
+  // by stats() with an O(frames) walk, so it is a dump-time number,
+  // not a hot-path counter.
+  uint64_t pinned_bytes = 0;
 };
 
 class BufferPool {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "storage/snapshot.hpp"
 #include "util/hash.hpp"
 #include "util/require.hpp"
@@ -107,10 +109,37 @@ Result<std::unique_ptr<Pager>> Pager::Open(std::string path,
     }
   }
   pager->PublishCommittedState();
+
+  // Observability: latency histograms are process-wide (one distribution
+  // across every pager); per-instance counters export through a pull
+  // collector labeled with the database path. The raw pointer in the
+  // collector is safe: ~Pager removes the collector before tearing
+  // anything down, and RemoveCollector blocks out in-flight dumps.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  pager->commit_latency_us_ = reg.GetHistogram(
+      "bp_commit_us", "",
+      "End-to-end Pager::Commit latency (us), both durability modes");
+  pager->fsync_latency_us_ = reg.GetHistogram(
+      "bp_wal_fsync_us", "", "WAL log fsync latency (us)");
+  pager->group_commit_txns_ = reg.GetHistogram(
+      "bp_wal_group_commit_txns", "",
+      "Committed transactions retired per group-commit window");
+  pager->checkpoint_latency_us_ = reg.GetHistogram(
+      "bp_pager_checkpoint_us", "",
+      "WAL checkpoint (sync + fold + log reset) latency (us)");
+  Pager* raw = pager.get();
+  pager->metrics_token_ = reg.AddCollector(
+      [raw](obs::CollectionSink& sink) { raw->CollectMetrics(sink); });
   return pager;
 }
 
 Pager::~Pager() {
+  // First thing: detach from the metrics registry, so no dump can call
+  // CollectMetrics on a pager that is mid-teardown (RemoveCollector
+  // blocks until any in-flight dump finishes with the callback).
+  if (metrics_token_ != 0) {
+    obs::MetricsRegistry::Global().RemoveCollector(metrics_token_);
+  }
   // A snapshot outliving its pager would read through dangling file
   // handles; that is a caller bug, not a recoverable condition.
   BP_CHECK(live_snapshots() == 0,
@@ -285,7 +314,12 @@ Status Pager::SyncWal() {
   // whether it filled to the ceiling or was closed early (FlushPending,
   // checkpoint, close). Counted even with sync=false so benches that
   // model fsync cost elsewhere still see the grouping behavior.
-  if (wal_unsynced_commits_ > 0) ++stats_.group_commits;
+  if (wal_unsynced_commits_ > 0) {
+    ++stats_.group_commits;
+    if (group_commit_txns_ != nullptr) {
+      group_commit_txns_->Record(wal_unsynced_commits_);
+    }
+  }
   if (!options_.sync) {
     wal_unsynced_commits_ = 0;
     return Status::Ok();
@@ -293,7 +327,11 @@ Status Pager::SyncWal() {
   // Reset the window only once the fsync SUCCEEDS: a failed sync leaves
   // the counter full, so the very next commit retries instead of
   // accumulating another whole window of unsynced transactions.
-  BP_ASSIGN_OR_RETURN(uint64_t made_durable, wal_->Sync());
+  uint64_t made_durable;
+  {
+    obs::ScopedTimerUs timer(fsync_latency_us_);
+    BP_ASSIGN_OR_RETURN(made_durable, wal_->Sync());
+  }
   wal_unsynced_commits_ = 0;
   if (made_durable > 0) {
     ++stats_.fsyncs;
@@ -323,6 +361,10 @@ Status Pager::Checkpoint() {
         "Checkpoint with live snapshots: they pin WAL frames; release "
         "them first (automatic checkpoints retry at the next commit)");
   }
+  // Timed from here: the deferred-checkpoint early-outs above would
+  // otherwise flood the histogram with near-zero samples.
+  obs::ScopedTimerUs timer(checkpoint_latency_us_);
+  obs::ScopedSpan span("pager.checkpoint");
   // The log must be durable before its pages land in the database file
   // (log ahead of data): otherwise a crash could leave the database with
   // pages from a transaction the log cannot prove committed.
@@ -445,6 +487,8 @@ Status Pager::Begin() {
 
 Status Pager::Commit() {
   BP_REQUIRE(in_txn_, "Commit outside a transaction");
+  obs::ScopedTimerUs timer(commit_latency_us_);
+  obs::ScopedSpan span("pager.commit");
 
   // Collect dirty frames.
   std::vector<internal::Frame*> dirty;
@@ -843,6 +887,7 @@ PagerStats Pager::stats() const {
     out.pool_evictions = pool.evictions;
     out.pool_bytes = pool.bytes;
     out.pool_frames = pool.frames;
+    out.pool_pinned_bytes = pool.pinned_bytes;
   }
   {
     std::lock_guard<std::mutex> lock(commit_mu_);
@@ -851,6 +896,53 @@ PagerStats Pager::stats() const {
     out.snapshot_pool_hits = retired_snapshot_stats_.pool_hits;
   }
   return out;
+}
+
+void Pager::CollectMetrics(obs::CollectionSink& sink) const {
+  const PagerStats s = stats();
+  const std::string labels = "db=\"" + path_ + "\"";
+  auto counter = [&](const char* name, const char* help, uint64_t v) {
+    sink.Counter(name, labels, help, static_cast<double>(v));
+  };
+  auto gauge = [&](const char* name, const char* help, uint64_t v) {
+    sink.Gauge(name, labels, help, static_cast<double>(v));
+  };
+  counter("bp_pager_commits", "Committed transactions", s.commits);
+  counter("bp_pager_rollbacks", "Rolled-back transactions", s.rollbacks);
+  counter("bp_pager_pages_written", "Pages written (journal or WAL)",
+          s.pages_written);
+  counter("bp_pager_pages_read", "Pages fetched from log/database file",
+          s.pages_read);
+  counter("bp_pager_cache_hits", "Writer page-cache hits", s.cache_hits);
+  counter("bp_pager_cache_misses", "Writer page-cache misses",
+          s.cache_misses);
+  counter("bp_pager_evictions", "Writer page-cache evictions", s.evictions);
+  counter("bp_pager_fsyncs", "fsync calls issued", s.fsyncs);
+  counter("bp_pager_bytes_synced", "Bytes made durable by fsync",
+          s.bytes_synced);
+  counter("bp_pager_wal_frames", "Page images appended to the WAL",
+          s.wal_frames);
+  counter("bp_pager_checkpoints", "WAL checkpoints folded", s.checkpoints);
+  counter("bp_pager_group_commits", "Group-commit windows closed",
+          s.group_commits);
+  counter("bp_snapshot_pages_read",
+          "Snapshot reads served from log/database file",
+          s.snapshot_pages_read);
+  counter("bp_snapshot_cache_hits", "Snapshot L1 memo hits",
+          s.snapshot_cache_hits);
+  counter("bp_snapshot_pool_hits", "Snapshot shared-pool hits",
+          s.snapshot_pool_hits);
+  if (pool_ != nullptr) {
+    counter("bp_pool_hits", "Buffer pool lookup hits", s.pool_hits);
+    counter("bp_pool_misses", "Buffer pool lookup misses", s.pool_misses);
+    counter("bp_pool_evictions", "Buffer pool frames evicted",
+            s.pool_evictions);
+    gauge("bp_pool_bytes", "Resident buffer pool bytes", s.pool_bytes);
+    gauge("bp_pool_frames", "Resident buffer pool frames", s.pool_frames);
+    gauge("bp_pool_pinned_bytes",
+          "Pool bytes pinned by live readers (un-evictable floor)",
+          s.pool_pinned_bytes);
+  }
 }
 
 }  // namespace bp::storage

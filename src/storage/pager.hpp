@@ -65,6 +65,11 @@
 #include "storage/page.hpp"
 #include "util/status.hpp"
 
+namespace bp::obs {
+class CollectionSink;
+class Histogram;
+}  // namespace bp::obs
+
 namespace bp::wal {
 class WalWriter;
 }  // namespace bp::wal
@@ -150,6 +155,8 @@ struct PagerStats {
   uint64_t pool_evictions = 0;
   uint64_t pool_bytes = 0;   // resident image bytes right now
   uint64_t pool_frames = 0;  // resident frames right now
+  // Pool bytes currently pinned by live readers (see BufferPoolStats).
+  uint64_t pool_pinned_bytes = 0;
   // Snapshot read-path totals, folded in as each snapshot is released
   // (live snapshots report through their own SnapshotStats until then):
   // log/database reads, L1 memo hits, and shared-pool hits issued by
@@ -359,6 +366,10 @@ class Pager {
   // Publishes a clean committed image (copy or move) into the pool.
   void PublishToPool(const PageImageKey& key, std::string&& image);
 
+  // Registry collector body: exports stats() as bp_pager_* / bp_pool_* /
+  // bp_snapshot_* samples labeled with this pager's database path.
+  void CollectMetrics(obs::CollectionSink& sink) const;
+
   std::string path_;
   PagerOptions options_;
   std::unique_ptr<File> file_;
@@ -430,6 +441,16 @@ class Pager {
 
   bool crash_after_journal_ = false;
   PagerStats stats_;
+
+  // --- observability (src/obs) ---------------------------------------
+  // Process-wide histograms shared by every pager (latency is a
+  // process-level distribution; per-instance counters go through the
+  // collector instead). Fetched once at Open; registry-owned.
+  obs::Histogram* commit_latency_us_ = nullptr;
+  obs::Histogram* fsync_latency_us_ = nullptr;
+  obs::Histogram* group_commit_txns_ = nullptr;
+  obs::Histogram* checkpoint_latency_us_ = nullptr;
+  uint64_t metrics_token_ = 0;  // collector handle; removed in ~Pager
 };
 
 // Begins a transaction when none is open; a no-op when the caller already

@@ -1,0 +1,252 @@
+// Observability unit tests: histogram bucket geometry and the quantile
+// error bound, lock-striped counter folding, registry find-or-create
+// and collector lifecycle, exporter output shape, the scoped-span
+// tracer's slow-op ring, and a concurrent-record stress that gives TSan
+// a real interleaving to chew on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+
+namespace bp::obs {
+namespace {
+
+// ------------------------------------------------------ bucket geometry
+
+TEST(HistogramBucketTest, ExactBelowSubBuckets) {
+  // Values below kSubBuckets each get their own bucket: zero error for
+  // the tiny latencies that dominate a warm hot path.
+  for (uint64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+    const size_t index = Histogram::BucketIndex(v);
+    EXPECT_EQ(Histogram::BucketLowerBound(index), v);
+    EXPECT_EQ(Histogram::BucketUpperBound(index), v + 1);
+  }
+}
+
+TEST(HistogramBucketTest, BoundsBracketEveryValue) {
+  // lower <= v < upper for a sweep across the full range, including
+  // the exact powers of two where off-by-ones like to live.
+  std::vector<uint64_t> values;
+  for (uint64_t shift = 0; shift < 63; ++shift) {
+    const uint64_t p = uint64_t{1} << shift;
+    values.push_back(p - 1);
+    values.push_back(p);
+    values.push_back(p + 1);
+  }
+  values.push_back(UINT64_MAX);
+  for (uint64_t v : values) {
+    const size_t index = Histogram::BucketIndex(v);
+    ASSERT_LT(index, Histogram::kBucketCount) << "value " << v;
+    EXPECT_LE(Histogram::BucketLowerBound(index), v) << "value " << v;
+    if (index + 1 < Histogram::kBucketCount) {
+      EXPECT_GT(Histogram::BucketUpperBound(index), v) << "value " << v;
+    }
+  }
+}
+
+TEST(HistogramBucketTest, BucketsAreContiguousAndMonotone) {
+  for (size_t i = 0; i + 1 < Histogram::kBucketCount; ++i) {
+    EXPECT_EQ(Histogram::BucketUpperBound(i),
+              Histogram::BucketLowerBound(i + 1))
+        << "gap/overlap at bucket " << i;
+  }
+}
+
+TEST(HistogramBucketTest, RelativeWidthBound) {
+  // Past the exact range, bucket width is at most lower_bound /
+  // kSubBuckets — the invariant the ±6.25% quantile bound rests on.
+  for (size_t i = Histogram::kSubBuckets; i + 1 < Histogram::kBucketCount;
+       ++i) {
+    const uint64_t lower = Histogram::BucketLowerBound(i);
+    const uint64_t width = Histogram::BucketUpperBound(i) - lower;
+    EXPECT_LE(width, std::max<uint64_t>(1, lower / Histogram::kSubBuckets))
+        << "bucket " << i << " [" << lower << ", "
+        << Histogram::BucketUpperBound(i) << ")";
+  }
+}
+
+// ------------------------------------------------------------ quantiles
+
+TEST(HistogramTest, QuantileWithinErrorBound) {
+  // Log-uniform samples across five decades; the estimate must stay
+  // within the documented ±1/(2*kSubBuckets) of the exact sample
+  // quantile.
+  util::Rng rng(42);
+  Histogram h;
+  std::vector<uint64_t> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const double exponent = 5.0 * (static_cast<double>(rng.NextU64() % 10000) /
+                                   10000.0);
+    const uint64_t v = static_cast<uint64_t>(std::pow(10.0, exponent)) + 1;
+    samples.push_back(v);
+    h.Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  const double kBound = 1.0 / (2.0 * Histogram::kSubBuckets);
+  for (double q : {0.5, 0.9, 0.99}) {
+    const size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    const double exact =
+        static_cast<double>(samples[std::min(rank, samples.size()) - 1]);
+    const double estimate = h.Quantile(q);
+    EXPECT_NEAR(estimate, exact, exact * kBound)
+        << "q=" << q << " exact=" << exact << " estimate=" << estimate;
+  }
+}
+
+TEST(HistogramTest, QuantileClampedToMaxAndEmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  h.Record(100);
+  // A single sample: every quantile is that sample, not a bucket
+  // midpoint above it.
+  EXPECT_LE(h.Quantile(0.99), 100.0);
+  EXPECT_GE(h.Quantile(0.5), 100.0 * (1.0 - 1.0 / Histogram::kSubBuckets));
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 100u);
+}
+
+TEST(HistogramTest, SnapshotMatchesAccessors) {
+  Histogram h;
+  for (uint64_t v : {1, 2, 3, 4, 100}) h.Record(v);
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.sum, 110u);
+  EXPECT_EQ(s.max, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 22.0);
+  EXPECT_EQ(s.p50, h.Quantile(0.5));
+  EXPECT_EQ(s.p99, h.Quantile(0.99));
+}
+
+// ---------------------------------------------------- concurrent stress
+
+TEST(ObsStressTest, ConcurrentRecordersAreConsistent) {
+  // 8 threads hammer one counter, one gauge, and one histogram. Under
+  // TSan this is the data-race check for the striped/relaxed design;
+  // everywhere it checks the totals fold correctly.
+  Counter counter;
+  Gauge gauge;
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        counter.Add(1);
+        gauge.Set(static_cast<int64_t>(i));
+        h.Record((i % 1000) + static_cast<uint64_t>(t));
+        if (i % 1024 == 0) {
+          (void)h.Quantile(0.5);  // concurrent reader
+          (void)counter.value();
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  EXPECT_LT(gauge.value(), static_cast<int64_t>(kPerThread));
+}
+
+// ------------------------------------------------------------- registry
+
+TEST(MetricsRegistryTest, FindOrCreateIsStableAndLabelAware) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("bp_test_total", "", "help");
+  Counter* b = reg.GetCounter("bp_test_total", "", "ignored later");
+  EXPECT_EQ(a, b);
+  Counter* labeled = reg.GetCounter("bp_test_total", "db=\"x\"", "help");
+  EXPECT_NE(a, labeled);
+  Histogram* h = reg.GetHistogram("bp_test_us", "", "help");
+  EXPECT_EQ(h, reg.GetHistogram("bp_test_us", "", ""));
+}
+
+TEST(MetricsRegistryTest, CollectorLifecycle) {
+  MetricsRegistry reg;
+  int runs = 0;
+  const uint64_t token = reg.AddCollector([&](CollectionSink& sink) {
+    ++runs;
+    sink.Counter("bp_collected_total", "db=\"t\"", "from collector", 7);
+  });
+  std::string json = reg.DumpJson();
+  EXPECT_EQ(runs, 1);
+  EXPECT_NE(json.find("bp_collected_total"), std::string::npos);
+  EXPECT_NE(json.find("bp-metrics-v1"), std::string::npos);
+  reg.RemoveCollector(token);
+  json = reg.DumpJson();
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(json.find("bp_collected_total"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, DumpTextIsPrometheusShaped) {
+  MetricsRegistry reg;
+  reg.GetCounter("bp_things_total", "", "things")->Add(3);
+  reg.GetGauge("bp_level", "", "level")->Set(-2);
+  Histogram* h = reg.GetHistogram("bp_lat_us", "op=\"x\"", "latency");
+  h->Record(10);
+  h->Record(20);
+  const std::string text = reg.DumpText();
+  EXPECT_NE(text.find("# TYPE bp_things_total counter"), std::string::npos);
+  EXPECT_NE(text.find("bp_things_total 3"), std::string::npos);
+  EXPECT_NE(text.find("bp_level -2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE bp_lat_us summary"), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_NE(text.find("bp_lat_us_count{op=\"x\"} 2"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ScopedTimerRecordsAndNullIsNoop) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("bp_timer_us", "", "");
+  { ScopedTimerUs t(h); }
+  EXPECT_EQ(h->count(), 1u);
+  { ScopedTimerUs t(nullptr); }  // must not crash
+}
+
+// --------------------------------------------------------------- tracer
+
+TEST(TracerTest, SlowSpansLandInRingWithParent) {
+  Tracer tracer;
+  tracer.set_slow_threshold_us(0);  // record everything
+  {
+    ScopedSpan outer("outer", &tracer);
+    ScopedSpan inner("inner", &tracer);
+  }
+  std::vector<SlowSpan> spans = tracer.SlowSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner ends first, so it is recorded first.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].parent, "outer");
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].parent, "");
+  EXPECT_EQ(spans[1].depth, 0u);
+}
+
+TEST(TracerTest, FastSpansAreDroppedAndRingIsBounded) {
+  Tracer tracer;
+  tracer.set_slow_threshold_us(60'000'000);  // nothing is that slow
+  { ScopedSpan span("fast", &tracer); }
+  EXPECT_TRUE(tracer.SlowSpans().empty());
+
+  tracer.set_slow_threshold_us(0);
+  for (size_t i = 0; i < Tracer::kRingCapacity + 10; ++i) {
+    ScopedSpan span("filler", &tracer);
+  }
+  EXPECT_EQ(tracer.SlowSpans().size(), Tracer::kRingCapacity);
+  const std::string json = tracer.DumpJsonSpans();
+  EXPECT_NE(json.find("\"slow_spans_dropped\": 10"), std::string::npos);
+  tracer.Clear();
+  EXPECT_TRUE(tracer.SlowSpans().empty());
+}
+
+}  // namespace
+}  // namespace bp::obs

@@ -417,5 +417,61 @@ TEST_F(ProvenanceDbTest, ExtraSinksRideTheSameStream) {
   EXPECT_EQ(db_->recorder().visit_map().size(), 2u);
 }
 
+TEST_F(ProvenanceDbTest, PoolCountersStayConsistentAcrossOneShotQueries) {
+  // Cross-counter consistency, end to end: every pool-consulted page
+  // fetch on the snapshot read path is either a pool hit or a storage
+  // read that pays a pool miss first, so over any read-only window
+  //   delta(pool_hits + pool_misses)
+  //     == delta(snapshot_pool_hits + snapshot_pages_read).
+  // A drift here means a fetch path stopped consulting the pool (or
+  // double-counts) — exactly the accounting bug dashboards built on
+  // these counters would silently absorb.
+  uint64_t dl = IngestRosebudSession();
+  const prov::NodeId download = db_->recorder().download_map().at(dl);
+  // Settle the lazy text index so the measured window is read-only.
+  ASSERT_TRUE(db_->Search("rosebud").ok());
+
+  const storage::PagerStats before = db_->storage_stats();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(db_->Search("rosebud").ok());
+    ASSERT_TRUE(db_->TraceDownload(download).ok());
+  }
+  const storage::PagerStats after = db_->storage_stats();
+
+  // Guard: the window really was read-only (no writer-pager fetches,
+  // which consult the pool without the snapshot counters).
+  ASSERT_EQ(after.cache_misses, before.cache_misses);
+
+  const uint64_t pool_lookups = (after.pool_hits + after.pool_misses) -
+                                (before.pool_hits + before.pool_misses);
+  const uint64_t snapshot_fetches =
+      (after.snapshot_pool_hits + after.snapshot_pages_read) -
+      (before.snapshot_pool_hits + before.snapshot_pages_read);
+  EXPECT_EQ(pool_lookups, snapshot_fetches);
+  // Repeated identical queries must actually warm the pool.
+  EXPECT_GT(after.pool_hits, before.pool_hits);
+}
+
+TEST_F(ProvenanceDbTest, DebugDumpExportsMetricsAndSpans) {
+  uint64_t dl = IngestRosebudSession();
+  ASSERT_TRUE(db_->Search("rosebud").ok());
+  ASSERT_TRUE(
+      db_->TraceDownload(db_->recorder().download_map().at(dl)).ok());
+
+  const std::string json = db_->DebugDump();
+  EXPECT_NE(json.find("\"schema\": \"bp-metrics-v1\""), std::string::npos);
+  EXPECT_NE(json.find("bp_commit_us"), std::string::npos);
+  EXPECT_NE(json.find("bp_query_us"), std::string::npos);
+  EXPECT_NE(json.find("family=\\\"search\\\""), std::string::npos);
+  EXPECT_NE(json.find("bp_pager_commits"), std::string::npos);
+  EXPECT_NE(json.find("db=\\\"facade.db\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"slow_spans\""), std::string::npos);
+
+  const std::string text = db_->DebugDumpText();
+  EXPECT_NE(text.find("# TYPE bp_commit_us summary"), std::string::npos);
+  EXPECT_NE(text.find("bp_pager_commits{db=\"facade.db\"}"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace bp::prov
