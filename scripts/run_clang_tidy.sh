@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Run the checked-in .clang-tidy over all of src/, the same way the CI
+# clang-tidy job does:
+#
+#   scripts/run_clang_tidy.sh            # configure + lint
+#   BUILD_DIR=build-tidy CXX=clang++-18 scripts/run_clang_tidy.sh
+#
+# Needs clang++ and clang-tidy (a compile database built by Clang, so
+# clang-tidy sees the exact flags — including -Wthread-safety — the
+# gated build uses). WarningsAsErrors is '*' in .clang-tidy, so any
+# warning is a nonzero exit here and a red CI job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-tidy}
+CXX=${CXX:-clang++}
+
+cmake -B "${BUILD_DIR}" -S . \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DCMAKE_CXX_COMPILER="${CXX}"
+
+RUNNER=$(command -v run-clang-tidy || command -v run-clang-tidy-18 || true)
+if [[ -n "${RUNNER}" ]]; then
+  "${RUNNER}" -p "${BUILD_DIR}" -quiet "^.*/src/.*\.cpp$"
+else
+  # Fallback when the parallel runner script isn't installed.
+  find src -name '*.cpp' -print0 |
+    xargs -0 -n 1 clang-tidy -p "${BUILD_DIR}" --quiet
+fi

@@ -42,7 +42,9 @@
 
 #include "capture/bus.hpp"
 #include "capture/events.hpp"
+#include "util/mutex.hpp"
 #include "util/status.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bp::obs {
 class Gauge;
@@ -114,28 +116,28 @@ class IngestPipeline {
   // Non-blocking under kBlock until the queue fills; never commits
   // inline. Returns the event's ticket, the sticky committer error, or
   // BudgetExhausted (kReject, queue full).
-  util::Result<Ticket> Enqueue(const BrowserEvent& event);
+  util::Result<Ticket> Enqueue(const BrowserEvent& event) BP_EXCLUDES(mu_);
 
   // Blocks until every event up to `ticket` is durable, or returns the
   // sticky error if the committer failed before reaching it. Tickets
   // beyond the last enqueued are clamped (Flush(UINT64_MAX) == Drain).
-  util::Status Flush(Ticket ticket);
+  util::Status Flush(Ticket ticket) BP_EXCLUDES(mu_);
   // Barrier over everything enqueued so far.
-  util::Status Drain() { return Flush(UINT64_MAX); }
+  util::Status Drain() BP_EXCLUDES(mu_) { return Flush(UINT64_MAX); }
 
   // Most recent ticket handed out (0 before the first Enqueue).
-  Ticket last_enqueued() const;
+  Ticket last_enqueued() const BP_EXCLUDES(mu_);
   // Highest ticket acknowledged durable.
-  Ticket durable_ticket() const;
+  Ticket durable_ticket() const BP_EXCLUDES(mu_);
   // The sticky committer status (Ok until a commit or sync fails).
-  util::Status status() const;
-  PipelineStats stats() const;
+  util::Status status() const BP_EXCLUDES(mu_);
+  PipelineStats stats() const BP_EXCLUDES(mu_);
 
  private:
-  void CommitterLoop();
+  void CommitterLoop() BP_EXCLUDES(mu_);
   // Committer must wake to close the group early: something committed
   // is not yet durable and a Flush barrier (or shutdown) wants it.
-  bool SyncWantedLocked() const {
+  bool SyncWantedLocked() const BP_REQUIRES(mu_) {
     return status_.ok() && durable_ < committed_ && flush_target_ > durable_;
   }
 
@@ -143,21 +145,21 @@ class IngestPipeline {
   const CommitFn commit_;
   const SyncFn sync_;
 
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   std::condition_variable work_cv_;   // wakes the committer
   std::condition_variable space_cv_;  // wakes producers blocked on space
   std::condition_variable ack_cv_;    // wakes Flush/Drain waiters
-  std::deque<BrowserEvent> queue_;
-  Ticket next_ticket_ = 1;   // ticket the next Enqueue will hand out
-  Ticket popped_ = 0;        // last ticket handed to the committer
-  Ticket committed_ = 0;     // last ticket whose transaction committed
-  Ticket durable_ = 0;       // last ticket known durable (fsynced)
-  Ticket flush_target_ = 0;  // highest ticket a Flush() is waiting on
-  util::Status status_;      // sticky committer error
-  bool stop_ = false;
-  PipelineStats stats_;
-  uint64_t depth_samples_ = 0;
-  uint64_t depth_sum_ = 0;
+  std::deque<BrowserEvent> queue_ BP_GUARDED_BY(mu_);
+  Ticket next_ticket_ BP_GUARDED_BY(mu_) = 1;  // next Enqueue's ticket
+  Ticket popped_ BP_GUARDED_BY(mu_) = 0;     // last handed to committer
+  Ticket committed_ BP_GUARDED_BY(mu_) = 0;  // last txn-committed
+  Ticket durable_ BP_GUARDED_BY(mu_) = 0;    // last known durable
+  Ticket flush_target_ BP_GUARDED_BY(mu_) = 0;  // highest Flush() wait
+  util::Status status_ BP_GUARDED_BY(mu_);      // sticky committer error
+  bool stop_ BP_GUARDED_BY(mu_) = false;
+  PipelineStats stats_ BP_GUARDED_BY(mu_);
+  uint64_t depth_samples_ BP_GUARDED_BY(mu_) = 0;
+  uint64_t depth_sum_ BP_GUARDED_BY(mu_) = 0;
 
   // Observability (src/obs): process-wide stage-latency histograms and
   // the live queue-depth gauge, fetched once at construction.

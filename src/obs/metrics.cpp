@@ -163,7 +163,7 @@ MetricsRegistry::Instrument* MetricsRegistry::FindOrCreate(
     const std::string& name, const std::string& labels,
     const std::string& help, Kind kind) {
   const std::string key = name + "{" + labels + "}";
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = instruments_.find(key);
   if (it != instruments_.end()) return it->second.get();
   auto inst = std::make_unique<Instrument>();
@@ -206,14 +206,14 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 uint64_t MetricsRegistry::AddCollector(CollectFn collect) {
-  std::lock_guard<std::mutex> lock(collector_mu_);
+  util::MutexLock lock(collector_mu_);
   uint64_t token = next_collector_++;
   collectors_.emplace(token, std::move(collect));
   return token;
 }
 
 void MetricsRegistry::RemoveCollector(uint64_t token) {
-  std::lock_guard<std::mutex> lock(collector_mu_);
+  util::MutexLock lock(collector_mu_);
   collectors_.erase(token);
 }
 
@@ -223,7 +223,7 @@ std::vector<CollectedSample> MetricsRegistry::Collect() const {
   // torn down — that is what makes "remove before destroy" sufficient.
   // collector_mu_ is distinct from mu_ so collectors may call back into
   // Get*/FindOrCreate; they must not Add/RemoveCollector (self-deadlock).
-  std::lock_guard<std::mutex> lock(collector_mu_);
+  util::MutexLock lock(collector_mu_);
   CollectionSink sink;
   for (const auto& [token, fn] : collectors_) fn(sink);
   return std::move(sink.samples);
@@ -244,7 +244,7 @@ std::string MetricsRegistry::DumpJsonMetricsArray() const {
   };
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     for (const auto& [key, inst] : instruments_) {
       switch (inst->kind) {
         case Kind::kCounter:
@@ -307,7 +307,7 @@ std::string MetricsRegistry::DumpText() const {
   };
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     for (const auto& [key, inst] : instruments_) {
       switch (inst->kind) {
         case Kind::kCounter:

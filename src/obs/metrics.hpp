@@ -47,6 +47,9 @@
 #include <string>
 #include <vector>
 
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
 namespace bp::obs {
 
 // ------------------------------------------------------------- Counter
@@ -196,11 +199,11 @@ class MetricsRegistry {
   // Find-or-create by (name, labels). The returned pointer is stable
   // for the registry's lifetime; `help` is kept from the first caller.
   Counter* GetCounter(const std::string& name, const std::string& labels,
-                      const std::string& help);
+                      const std::string& help) BP_EXCLUDES(mu_);
   Gauge* GetGauge(const std::string& name, const std::string& labels,
-                  const std::string& help);
+                  const std::string& help) BP_EXCLUDES(mu_);
   Histogram* GetHistogram(const std::string& name, const std::string& labels,
-                          const std::string& help);
+                          const std::string& help) BP_EXCLUDES(mu_);
 
   // Pull-model bridge for subsystems that keep per-instance snapshot
   // structs: `collect` runs at every dump and reports current values.
@@ -210,20 +213,20 @@ class MetricsRegistry {
   // teardown safe). Collectors may create/record instruments but must
   // not call Add/RemoveCollector themselves.
   using CollectFn = std::function<void(CollectionSink&)>;
-  uint64_t AddCollector(CollectFn collect);
-  void RemoveCollector(uint64_t token);
+  uint64_t AddCollector(CollectFn collect) BP_EXCLUDES(collector_mu_);
+  void RemoveCollector(uint64_t token) BP_EXCLUDES(collector_mu_);
 
   // {"schema": "bp-metrics-v1", "metrics": [ {...}, ... ]}. Each entry
   // carries name/type/labels/help plus value (counter, gauge) or
   // count/sum/max/mean/p50/p90/p99 (histogram).
-  std::string DumpJson() const;
+  std::string DumpJson() const BP_EXCLUDES(mu_, collector_mu_);
   // The metrics array alone (no wrapper object) — DebugDump composes it
   // with the slow-span log.
-  std::string DumpJsonMetricsArray() const;
+  std::string DumpJsonMetricsArray() const BP_EXCLUDES(mu_, collector_mu_);
   // Prometheus-style text: HELP/TYPE comments, counters and gauges as
   // plain samples, histograms as summaries (quantile label + _sum,
   // _count, _max).
-  std::string DumpText() const;
+  std::string DumpText() const BP_EXCLUDES(mu_, collector_mu_);
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
@@ -238,18 +241,22 @@ class MetricsRegistry {
   };
 
   Instrument* FindOrCreate(const std::string& name, const std::string& labels,
-                           const std::string& help, Kind kind);
-  std::vector<CollectedSample> Collect() const;
+                           const std::string& help, Kind kind)
+      BP_EXCLUDES(mu_);
+  std::vector<CollectedSample> Collect() const
+      BP_EXCLUDES(mu_, collector_mu_);
 
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   // Keyed by name + "{" + labels + "}" so label variants coexist;
   // ordered so dumps are deterministic.
-  std::map<std::string, std::unique_ptr<Instrument>> instruments_;
+  std::map<std::string, std::unique_ptr<Instrument>> instruments_
+      BP_GUARDED_BY(mu_);
   // Separate lock so collectors can call back into Get* (which takes
-  // mu_) while a dump holds collector_mu_.
-  mutable std::mutex collector_mu_;
-  std::map<uint64_t, CollectFn> collectors_;
-  uint64_t next_collector_ = 1;
+  // mu_) while a dump holds collector_mu_ — hence the declared order:
+  // collector_mu_ first, mu_ inside it, never the reverse.
+  mutable util::Mutex collector_mu_ BP_ACQUIRED_BEFORE(mu_);
+  std::map<uint64_t, CollectFn> collectors_ BP_GUARDED_BY(collector_mu_);
+  uint64_t next_collector_ BP_GUARDED_BY(collector_mu_) = 1;
 };
 
 }  // namespace bp::obs

@@ -37,7 +37,7 @@ Tracer& Tracer::Global() {
 }
 
 void Tracer::RecordSlow(SlowSpan span) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (ring_.size() < kRingCapacity) {
     ring_.push_back(std::move(span));
     return;
@@ -48,7 +48,7 @@ void Tracer::RecordSlow(SlowSpan span) {
 }
 
 std::vector<SlowSpan> Tracer::SlowSpans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<SlowSpan> out;
   out.reserve(ring_.size());
   // Oldest first: once the ring wrapped, next_ points at the oldest.
@@ -59,7 +59,7 @@ std::vector<SlowSpan> Tracer::SlowSpans() const {
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   ring_.clear();
   next_ = 0;
   dropped_ = 0;
@@ -69,7 +69,7 @@ std::string Tracer::DumpJsonSpans() const {
   uint64_t dropped;
   std::vector<SlowSpan> spans;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     dropped = dropped_;
   }
   spans = SlowSpans();

@@ -26,6 +26,9 @@
 #include <string>
 #include <vector>
 
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
 namespace bp::obs {
 
 struct SlowSpan {
@@ -58,22 +61,22 @@ class Tracer {
   }
 
   // The retained slow spans, oldest first. Thread-safe.
-  std::vector<SlowSpan> SlowSpans() const;
-  void Clear();
+  std::vector<SlowSpan> SlowSpans() const BP_EXCLUDES(mu_);
+  void Clear() BP_EXCLUDES(mu_);
 
   // {"slow_span_threshold_us": N, "slow_spans": [ {...}, ... ]} body —
   // composed into ProvenanceDb::DebugDump.
-  std::string DumpJsonSpans() const;
+  std::string DumpJsonSpans() const BP_EXCLUDES(mu_);
 
  private:
   friend class ScopedSpan;
-  void RecordSlow(SlowSpan span);
+  void RecordSlow(SlowSpan span) BP_EXCLUDES(mu_);
 
   std::atomic<uint64_t> threshold_us_{1000};
-  mutable std::mutex mu_;
-  std::vector<SlowSpan> ring_;  // capped at kRingCapacity
-  size_t next_ = 0;             // ring cursor once full
-  uint64_t dropped_ = 0;        // spans overwritten after the ring filled
+  mutable util::Mutex mu_;
+  std::vector<SlowSpan> ring_ BP_GUARDED_BY(mu_);  // capped: kRingCapacity
+  size_t next_ BP_GUARDED_BY(mu_) = 0;      // ring cursor once full
+  uint64_t dropped_ BP_GUARDED_BY(mu_) = 0; // overwritten once full
 };
 
 class ScopedSpan {

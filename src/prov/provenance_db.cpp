@@ -140,7 +140,7 @@ capture::PipelineStats ProvenanceDb::pipeline_stats() const {
 Result<bool> ProvenanceDb::CommitEventBatch(
     std::vector<capture::BrowserEvent>&& events, size_t backlog) {
   (void)backlog;  // batch size already adapted by the pipeline's pop
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  util::RecursiveMutexLock lock(mu_);
   ProvStore::IngestBatch batch(*store_);
   for (const capture::BrowserEvent& event : events) {
     Status published = bus_.Publish(event);
@@ -168,12 +168,12 @@ Result<bool> ProvenanceDb::CommitEventBatch(
 }
 
 Status ProvenanceDb::SyncPipeline() {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  util::RecursiveMutexLock lock(mu_);
   return db_->pager().FlushPending().status();
 }
 
 Status ProvenanceDb::Ingest(const capture::BrowserEvent& event) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  util::RecursiveMutexLock lock(mu_);
   index_stale_ = true;
   return bus_.Publish(event);
 }
@@ -206,12 +206,12 @@ Status ProvenanceDb::RefreshIndex() {
 }
 
 Status ProvenanceDb::Sync() {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  util::RecursiveMutexLock lock(mu_);
   return db_->pager().SyncWal();
 }
 
 Status ProvenanceDb::Checkpoint() {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  util::RecursiveMutexLock lock(mu_);
   if (db_->pager().durability() != storage::DurabilityMode::kWal) {
     return Status::Ok();  // nothing to fold: the db file is current
   }
@@ -243,7 +243,7 @@ Result<ProvenanceDb::SnapshotView> ProvenanceDb::BeginSnapshot() {
   // Read-your-writes: everything IngestAsync'd so far must be inside
   // the frozen view (must run before the lock; the committer takes it).
   MaybeDrainForQuery();
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  util::RecursiveMutexLock lock(mu_);
   if (db_->pager().InTransaction()) {
     // A snapshot here could not keep the "fully searchable" promise:
     // the index refresh would compose into the open batch (uncommitted,
@@ -369,6 +369,9 @@ Result<search::ContextualSearchResult> ProvenanceDb::Search(
       /*with_searcher=*/true,
       [&](SnapshotView& view) { return view.Search(query, options); },
       [&]() -> Result<search::ContextualSearchResult> {
+        // OneShot invokes this while holding mu_; the analysis checks
+        // lambda bodies as separate functions, so restate that here.
+        mu_.AssertHeld();
         BP_RETURN_IF_ERROR(RefreshIndex());
         return searcher_->ContextualSearch(query, options);
       });
@@ -382,6 +385,7 @@ Result<search::ContextualSearchResult> ProvenanceDb::TextualSearch(
       /*with_searcher=*/true,
       [&](SnapshotView& view) { return view.TextualSearch(query, k); },
       [&]() -> Result<search::ContextualSearchResult> {
+        mu_.AssertHeld();  // held by OneShot (see Search above)
         BP_RETURN_IF_ERROR(RefreshIndex());
         return searcher_->TextualSearch(query, k);
       });
@@ -395,6 +399,7 @@ Result<search::PersonalizationResult> ProvenanceDb::Personalize(
       /*with_searcher=*/true,
       [&](SnapshotView& view) { return view.Personalize(query, options); },
       [&]() -> Result<search::PersonalizationResult> {
+        mu_.AssertHeld();  // held by OneShot (see Search above)
         BP_RETURN_IF_ERROR(RefreshIndex());
         return search::PersonalizeQuery(*searcher_, query, options);
       });
@@ -411,6 +416,7 @@ Result<search::TimeContextResult> ProvenanceDb::TimeContext(
         return view.TimeContext(primary_query, context_query, options);
       },
       [&]() -> Result<search::TimeContextResult> {
+        mu_.AssertHeld();  // held by OneShot (see Search above)
         BP_RETURN_IF_ERROR(RefreshIndex());
         return search::TimeContextualSearch(*searcher_, primary_query,
                                             context_query, options);

@@ -62,7 +62,9 @@
 #include "search/time_context.hpp"
 #include "storage/db.hpp"
 #include "storage/snapshot.hpp"
+#include "util/mutex.hpp"
 #include "util/status.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bp::obs {
 class Histogram;
@@ -213,7 +215,7 @@ class ProvenanceDb {
 
    private:
     ProvenanceDb& db_;
-    std::unique_lock<std::recursive_mutex> lock_;
+    util::RecursiveMutexLock lock_;
     graph::NodeId watermark_;
     bool committed_ = false;
     ProvStore::IngestBatch inner_;
@@ -335,7 +337,7 @@ class ProvenanceDb {
   // hit/miss/eviction counts, resident pool bytes, WAL/fsync cost (see
   // storage::PagerStats). Cheap; safe from any thread.
   storage::PagerStats storage_stats() {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    util::RecursiveMutexLock lock(mu_);
     return db_->pager().stats();
   }
 
@@ -369,20 +371,22 @@ class ProvenanceDb {
 
   // Re-indexes pages added since the last text-backed query, first
   // undoing index state left behind by a rolled-back Batch.
-  util::Status RefreshIndex();
-  // Called by ~Batch on rollback; mu_ is held (the Batch holds it).
-  void ScheduleIndexRestore(graph::NodeId watermark) {
+  util::Status RefreshIndex() BP_REQUIRES(mu_);
+  // Called by ~Batch on rollback; mu_ is held (the Batch holds it —
+  // destructor bodies are outside the analysis, hence no caller check).
+  void ScheduleIndexRestore(graph::NodeId watermark) BP_REQUIRES(mu_) {
     if (restore_watermark_ > watermark) restore_watermark_ = watermark;
     index_stale_ = true;
   }
   // BeginSnapshot body; mu_ must already be held. Graph-only one-shot
   // queries pass with_searcher=false to skip the text-index refresh
   // and the searcher bind (lineage never touches the text index).
-  util::Result<SnapshotView> BeginSnapshotLocked(bool with_searcher);
+  util::Result<SnapshotView> BeginSnapshotLocked(bool with_searcher)
+      BP_REQUIRES(mu_);
   // True when one-shot queries should run on a private snapshot: WAL
   // durability and no open Batch (mid-batch queries keep the live,
   // read-your-own-writes path).
-  bool UseSnapshotQueriesLocked() const;
+  bool UseSnapshotQueriesLocked() const BP_REQUIRES(mu_);
 
   // Read-your-writes for queries: drains the ingest pipeline so events
   // already IngestAsync'd are committed before the query opens its
@@ -410,11 +414,11 @@ class ProvenanceDb {
   auto OneShot(bool with_searcher, ViewFn&& on_view, LiveFn&& on_live)
       -> decltype(on_live()) {
     MaybeDrainForQuery();
-    std::unique_lock<std::recursive_mutex> lock(mu_);
+    util::RecursiveMutexLock lock(mu_);
     if (UseSnapshotQueriesLocked()) {
       auto view = BeginSnapshotLocked(with_searcher);
       if (!view.ok()) return view.status();
-      lock.unlock();
+      lock.Unlock();
       return on_view(*view);
     }
     return on_live();
@@ -424,7 +428,7 @@ class ProvenanceDb {
   // durability controls) against each other. Recursive because Batch
   // holds it across user Ingest calls. Queries on an open SnapshotView
   // never take it.
-  std::recursive_mutex mu_;
+  util::RecursiveMutex mu_;
 
   std::string path_;  // database path: the `db` label on exported samples
   std::unique_ptr<storage::Db> db_;
@@ -433,10 +437,10 @@ class ProvenanceDb {
   capture::EventBus bus_;
   std::unique_ptr<search::HistorySearcher> searcher_;
   size_t ingest_batch_ = 256;
-  bool index_stale_ = false;
+  bool index_stale_ BP_GUARDED_BY(mu_) = false;
   // Watermark to rewind the searcher to before the next re-index
   // (UINT64_MAX = nothing pending); set by rolled-back Batches.
-  graph::NodeId restore_watermark_ = UINT64_MAX;
+  graph::NodeId restore_watermark_ BP_GUARDED_BY(mu_) = UINT64_MAX;
 
   // --- async ingest pipeline ---------------------------------------
   // The committer-thread callbacks behind the pipeline: one storage

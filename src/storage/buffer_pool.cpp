@@ -1,7 +1,9 @@
 #include "storage/buffer_pool.hpp"
 
 #include "util/hash.hpp"
+#include "util/mutex.hpp"
 #include "util/require.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bp::storage {
 
@@ -21,17 +23,22 @@ struct KeyHash {
 }  // namespace
 
 struct BufferPool::Shard {
-  std::mutex mu;
-  std::unordered_map<PageImageKey, std::unique_ptr<Frame>, KeyHash> frames;
-  Frame lru;  // sentinel: lru.next = MRU, lru.prev = coldest
-  uint64_t bytes = 0;
-  // Counters are guarded by mu (stats() locks each shard in turn).
-  uint64_t hits = 0;
-  uint64_t misses = 0;
-  uint64_t inserts = 0;
-  uint64_t reinserts = 0;
-  uint64_t evictions = 0;
-  uint64_t pinned_skips = 0;
+  util::Mutex mu;
+  std::unordered_map<PageImageKey, std::unique_ptr<Frame>, KeyHash> frames
+      BP_GUARDED_BY(mu);
+  // The intrusive links threaded through the frames are mu-guarded too,
+  // but guarded_by cannot be spelled on Frame::prev/next (a Frame does
+  // not know its shard); the sentinel annotation plus the BP_REQUIRES
+  // on every function that walks the list covers them in practice.
+  Frame lru BP_GUARDED_BY(mu);  // sentinel: next = MRU, prev = coldest
+  uint64_t bytes BP_GUARDED_BY(mu) = 0;
+  // Counters too (stats() locks each shard in turn).
+  uint64_t hits BP_GUARDED_BY(mu) = 0;
+  uint64_t misses BP_GUARDED_BY(mu) = 0;
+  uint64_t inserts BP_GUARDED_BY(mu) = 0;
+  uint64_t reinserts BP_GUARDED_BY(mu) = 0;
+  uint64_t evictions BP_GUARDED_BY(mu) = 0;
+  uint64_t pinned_skips BP_GUARDED_BY(mu) = 0;
 
   Shard() {
     lru.prev = &lru;
@@ -55,67 +62,37 @@ BufferPool::Shard& BufferPool::ShardFor(const PageImageKey& key) {
   return shards_[KeyHash{}(key) & (kShards - 1)];
 }
 
-void BufferPool::Unlink(Frame* frame) {
+// LRU list surgery. File-local free functions (not members) so the
+// annotations can name the shard's own mutex, which needs Shard to be a
+// complete type — it never is at an in-class declaration.
+namespace {
+
+void Unlink(BufferPool::Frame* frame) {
   frame->prev->next = frame->next;
   frame->next->prev = frame->prev;
   frame->prev = nullptr;
   frame->next = nullptr;
 }
 
-void BufferPool::LinkFront(Shard& shard, Frame* frame) {
+void LinkFront(BufferPool::Shard& shard, BufferPool::Frame* frame)
+    BP_REQUIRES(shard.mu) {
   frame->next = shard.lru.next;
   frame->prev = &shard.lru;
   shard.lru.next->prev = frame;
   shard.lru.next = frame;
 }
 
-void BufferPool::Touch(Shard& shard, Frame* frame) {
+// Unlinks `frame` and relinks it at the MRU end.
+void Touch(BufferPool::Shard& shard, BufferPool::Frame* frame)
+    BP_REQUIRES(shard.mu) {
   Unlink(frame);
   LinkFront(shard, frame);
 }
 
-std::shared_ptr<const std::string> BufferPool::Lookup(
-    const PageImageKey& key) {
-  Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.frames.find(key);
-  if (it == shard.frames.end()) {
-    ++shard.misses;
-    return nullptr;
-  }
-  ++shard.hits;
-  Touch(shard, it->second.get());
-  return it->second->data;
-}
-
-std::shared_ptr<const std::string> BufferPool::Insert(
-    const PageImageKey& key, std::shared_ptr<const std::string> page) {
-  BP_CHECK(page != nullptr && page->size() == kPageSize,
-           "pool frames are exactly one page");
-  Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.frames.find(key);
-  if (it != shard.frames.end()) {
-    // Another thread fetched the same image concurrently; keys name
-    // immutable byte images, so the frames are identical — adopt the
-    // resident one and let the caller's copy die.
-    ++shard.reinserts;
-    Touch(shard, it->second.get());
-    return it->second->data;
-  }
-  auto frame = std::make_unique<Frame>();
-  frame->key = key;
-  frame->data = std::move(page);
-  shard.bytes += frame->data->size();
-  ++shard.inserts;
-  LinkFront(shard, frame.get());
-  std::shared_ptr<const std::string> out = frame->data;
-  shard.frames.emplace(key, std::move(frame));
-  EvictLocked(shard);
-  return out;
-}
-
-void BufferPool::EvictLocked(Shard& shard) {
+// Evicts cold, unpinned frames until the shard is within its budget
+// slice.
+void EvictUnderLock(BufferPool::Shard& shard, size_t shard_budget)
+    BP_REQUIRES(shard.mu) {
   // Walk from the cold end. Every step either evicts the frame or
   // re-warms a pinned one to the MRU end. Two bounds keep an insert
   // O(evicted) amortized even when the budget cannot be met: the scan
@@ -129,9 +106,9 @@ void BufferPool::EvictLocked(Shard& shard) {
   size_t examined = 0;
   size_t fruitless = 0;
   const size_t limit = shard.frames.size();
-  while (shard.bytes > shard_budget_ && examined < limit &&
+  while (shard.bytes > shard_budget && examined < limit &&
          fruitless < kMaxFruitlessProbes) {
-    Frame* victim = shard.lru.prev;
+    BufferPool::Frame* victim = shard.lru.prev;
     if (victim == &shard.lru) break;
     ++examined;
     if (victim->data.use_count() > 1) {
@@ -157,11 +134,54 @@ void BufferPool::EvictLocked(Shard& shard) {
   }
 }
 
+}  // namespace
+
+std::shared_ptr<const std::string> BufferPool::Lookup(
+    const PageImageKey& key) {
+  Shard& shard = ShardFor(key);
+  util::MutexLock lock(shard.mu);
+  auto it = shard.frames.find(key);
+  if (it == shard.frames.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  Touch(shard, it->second.get());
+  return it->second->data;
+}
+
+std::shared_ptr<const std::string> BufferPool::Insert(
+    const PageImageKey& key, std::shared_ptr<const std::string> page) {
+  BP_CHECK(page != nullptr && page->size() == kPageSize,
+           "pool frames are exactly one page");
+  Shard& shard = ShardFor(key);
+  util::MutexLock lock(shard.mu);
+  auto it = shard.frames.find(key);
+  if (it != shard.frames.end()) {
+    // Another thread fetched the same image concurrently; keys name
+    // immutable byte images, so the frames are identical — adopt the
+    // resident one and let the caller's copy die.
+    ++shard.reinserts;
+    Touch(shard, it->second.get());
+    return it->second->data;
+  }
+  auto frame = std::make_unique<Frame>();
+  frame->key = key;
+  frame->data = std::move(page);
+  shard.bytes += frame->data->size();
+  ++shard.inserts;
+  LinkFront(shard, frame.get());
+  std::shared_ptr<const std::string> out = frame->data;
+  shard.frames.emplace(key, std::move(frame));
+  EvictUnderLock(shard, shard_budget_);
+  return out;
+}
+
 BufferPoolStats BufferPool::stats() const {
   BufferPoolStats out;
   for (size_t i = 0; i < kShards; ++i) {
     Shard& shard = shards_[i];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     out.hits += shard.hits;
     out.misses += shard.misses;
     out.inserts += shard.inserts;

@@ -117,24 +117,20 @@ class BufferPool {
 
   static constexpr size_t kShards = 16;  // power of two
 
- private:
+  // Implementation detail, public only so the annotated LRU helpers in
+  // buffer_pool.cpp (file-local free functions whose BP_REQUIRES name
+  // shard.mu — impossible to spell on an in-class declaration, where
+  // Shard is still incomplete) can take it by reference.
   struct Frame {
     PageImageKey key;
     std::shared_ptr<const std::string> data;
     Frame* prev = nullptr;  // intrusive LRU list; head = MRU
     Frame* next = nullptr;
   };
-
   struct Shard;
 
+ private:
   Shard& ShardFor(const PageImageKey& key);
-  // Unlinks `frame` and relinks it at the MRU end. Shard lock held.
-  static void Touch(Shard& shard, Frame* frame);
-  static void Unlink(Frame* frame);
-  static void LinkFront(Shard& shard, Frame* frame);
-  // Evicts cold, unpinned frames until the shard is within its budget
-  // slice. Shard lock held.
-  void EvictLocked(Shard& shard);
 
   const size_t byte_budget_;
   const size_t shard_budget_;

@@ -10,8 +10,10 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "util/mutex.hpp"
 #include "util/require.hpp"
 #include "util/strings.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bp::storage {
 
@@ -130,8 +132,8 @@ struct MemEnv::Shared {
 // pread/pwrite does — a WAL append never blocks a reader's page read
 // from the database file.
 struct MemEnv::FileContent {
-  std::shared_mutex mu;
-  std::string data;
+  util::SharedMutex mu;
+  std::string data BP_GUARDED_BY(mu);
 };
 
 namespace {
@@ -146,7 +148,7 @@ class MemFile : public File {
 
   Status Read(uint64_t offset, size_t n, std::string* out) const override {
     {
-      std::shared_lock<std::shared_mutex> lock(content_->mu);
+      util::ReaderMutexLock lock(content_->mu);
       const std::string& c = content_->data;
       if (offset >= c.size()) return Status::OutOfRange("read past EOF");
       if (offset + n > c.size()) return Status::IoError("short read (mem)");
@@ -167,7 +169,7 @@ class MemFile : public File {
   }
 
   Status Write(uint64_t offset, std::string_view data) override {
-    std::unique_lock<std::shared_mutex> lock(content_->mu);
+    util::WriterMutexLock lock(content_->mu);
     if (shared_->logging) {
       shared_->ops.push_back(MemEnvOp{MemEnvOp::Kind::kWrite, name_, offset,
                                       std::string(data), 0});
@@ -193,7 +195,7 @@ class MemFile : public File {
   }
 
   Status Truncate(uint64_t size) override {
-    std::unique_lock<std::shared_mutex> lock(content_->mu);
+    util::WriterMutexLock lock(content_->mu);
     if (shared_->logging) {
       shared_->ops.push_back(
           MemEnvOp{MemEnvOp::Kind::kTruncate, name_, 0, {}, size});
@@ -203,7 +205,7 @@ class MemFile : public File {
   }
 
   Result<uint64_t> Size() const override {
-    std::shared_lock<std::shared_mutex> lock(content_->mu);
+    util::ReaderMutexLock lock(content_->mu);
     return static_cast<uint64_t>(content_->data.size());
   }
 
@@ -246,7 +248,7 @@ bool MemEnv::Exists(const std::string& name) const {
 std::map<std::string, std::string> MemEnv::SnapshotAll() const {
   std::map<std::string, std::string> out;
   for (const auto& [name, content] : files_) {
-    std::shared_lock<std::shared_mutex> lock(content->mu);
+    util::ReaderMutexLock lock(content->mu);
     out[name] = content->data;
   }
   return out;

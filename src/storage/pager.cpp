@@ -355,7 +355,7 @@ Status Pager::Checkpoint() {
   // Hold commit_mu_ for the whole fold: a snapshot beginning mid-fold
   // would otherwise read the database file while the checkpointer is
   // rewriting it. BeginRead blocks for the (rare, bounded) duration.
-  std::lock_guard<std::mutex> lock(commit_mu_);
+  util::MutexLock lock(commit_mu_);
   if (live_snapshots_ > 0) {
     return Status::FailedPrecondition(
         "Checkpoint with live snapshots: they pin WAL frames; release "
@@ -417,14 +417,14 @@ void Pager::PublishLocked(
 }
 
 void Pager::PublishCommittedState() {
-  std::lock_guard<std::mutex> lock(commit_mu_);
+  util::MutexLock lock(commit_mu_);
   PublishLocked(
       std::make_shared<std::unordered_map<PageId, uint64_t>>(wal_index_));
 }
 
 void Pager::PublishCommitDelta(
     const std::vector<std::pair<PageId, uint64_t>>& offsets) {
-  std::lock_guard<std::mutex> lock(commit_mu_);
+  util::MutexLock lock(commit_mu_);
   // use_count can only grow under commit_mu_ (BeginRead) — a snapshot
   // destructor may decrement it concurrently, which at worst makes us
   // copy when in-place would have been safe.
@@ -446,7 +446,7 @@ util::Result<std::unique_ptr<Snapshot>> Pager::BeginRead() {
         "BeginRead requires WAL durability mode (journal mode rewrites "
         "the database file in place at every commit)");
   }
-  std::lock_guard<std::mutex> lock(commit_mu_);
+  util::MutexLock lock(commit_mu_);
   std::unique_ptr<Snapshot> snap(new Snapshot());
   snap->pager_ = this;
   snap->commit_seq_ = published_.commit_seq;
@@ -463,12 +463,12 @@ util::Result<std::unique_ptr<Snapshot>> Pager::BeginRead() {
 }
 
 uint32_t Pager::live_snapshots() const {
-  std::lock_guard<std::mutex> lock(commit_mu_);
+  util::MutexLock lock(commit_mu_);
   return live_snapshots_;
 }
 
 void Pager::ReleaseSnapshot(const SnapshotStats& final_stats) {
-  std::lock_guard<std::mutex> lock(commit_mu_);
+  util::MutexLock lock(commit_mu_);
   BP_CHECK(live_snapshots_ > 0);
   --live_snapshots_;
   retired_snapshot_stats_.pages_read += final_stats.pages_read;
@@ -890,7 +890,7 @@ PagerStats Pager::stats() const {
     out.pool_pinned_bytes = pool.pinned_bytes;
   }
   {
-    std::lock_guard<std::mutex> lock(commit_mu_);
+    util::MutexLock lock(commit_mu_);
     out.snapshot_pages_read = retired_snapshot_stats_.pages_read;
     out.snapshot_cache_hits = retired_snapshot_stats_.cache_hits;
     out.snapshot_pool_hits = retired_snapshot_stats_.pool_hits;

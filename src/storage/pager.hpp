@@ -63,7 +63,9 @@
 #include "storage/buffer_pool.hpp"
 #include "storage/env.hpp"
 #include "storage/page.hpp"
+#include "util/mutex.hpp"
 #include "util/status.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bp::obs {
 class CollectionSink;
@@ -243,7 +245,7 @@ class Pager {
   // Point-in-time statistics: the pager's own counters plus (when a
   // pool is attached) the shared buffer pool's, folded into the pool_*
   // fields — one coherent set for benches and facade reporting.
-  PagerStats stats() const;
+  PagerStats stats() const BP_EXCLUDES(commit_mu_);
 
   // The shared versioned buffer pool (null when pool_bytes was 0 and no
   // pool was injected). Snapshots resolve through it; several pagers
@@ -289,7 +291,7 @@ class Pager {
   // kWal only: forces a checkpoint now (normally driven by
   // wal_checkpoint_bytes and clean close). FailedPrecondition when a
   // transaction is open or live snapshots still pin WAL frames.
-  util::Status Checkpoint();
+  util::Status Checkpoint() BP_EXCLUDES(commit_mu_);
 
   DurabilityMode durability() const { return options_.durability; }
 
@@ -305,11 +307,11 @@ class Pager {
   // Thread-safe (may be called off the writer thread). While snapshots
   // are live, checkpoints are deferred and the log grows; release
   // snapshots promptly under sustained ingest.
-  util::Result<std::unique_ptr<Snapshot>> BeginRead();
+  util::Result<std::unique_ptr<Snapshot>> BeginRead() BP_EXCLUDES(commit_mu_);
 
   // Snapshots currently alive (they pin WAL frames and defer
   // checkpoints). Thread-safe.
-  uint32_t live_snapshots() const;
+  uint32_t live_snapshots() const BP_EXCLUDES(commit_mu_);
 
  private:
   friend class PageRef;
@@ -327,14 +329,18 @@ class Pager {
   // commit's page offsets, copying the map only when a live snapshot
   // still shares it — so commits without snapshot pressure publish in
   // O(dirty pages), not O(index).
-  void PublishCommittedState();
+  void PublishCommittedState() BP_EXCLUDES(commit_mu_);
   void PublishCommitDelta(
-      const std::vector<std::pair<PageId, uint64_t>>& offsets);
+      const std::vector<std::pair<PageId, uint64_t>>& offsets)
+      BP_EXCLUDES(commit_mu_);
   // Copies the committed header fields (and, when non-null, the given
-  // index) into published_. commit_mu_ must already be held.
+  // index) into published_ — commit_mu_ must already be held, and now
+  // the compiler checks that.
   void PublishLocked(
-      std::shared_ptr<std::unordered_map<PageId, uint64_t>> index);
-  void ReleaseSnapshot(const SnapshotStats& final_stats);
+      std::shared_ptr<std::unordered_map<PageId, uint64_t>> index)
+      BP_REQUIRES(commit_mu_);
+  void ReleaseSnapshot(const SnapshotStats& final_stats)
+      BP_EXCLUDES(commit_mu_);
 
   util::Status InitializeNewDb();
   util::Status LoadHeader();
@@ -433,11 +439,11 @@ class Pager {
     uint32_t generation = 0;  // checkpoint generation (pool image keys)
     std::shared_ptr<std::unordered_map<PageId, uint64_t>> wal_index;
   };
-  mutable std::mutex commit_mu_;
-  PublishedState published_;
-  uint32_t live_snapshots_ = 0;  // guarded by commit_mu_
-  // Totals folded in by ReleaseSnapshot (guarded by commit_mu_).
-  SnapshotStats retired_snapshot_stats_;
+  mutable util::Mutex commit_mu_;
+  PublishedState published_ BP_GUARDED_BY(commit_mu_);
+  uint32_t live_snapshots_ BP_GUARDED_BY(commit_mu_) = 0;
+  // Totals folded in by ReleaseSnapshot.
+  SnapshotStats retired_snapshot_stats_ BP_GUARDED_BY(commit_mu_);
 
   bool crash_after_journal_ = false;
   PagerStats stats_;

@@ -25,7 +25,7 @@ Result<std::shared_ptr<const std::string>> Snapshot::ReadPage(
   // the per-fetch fast path the B+tree read loop lives on; a memoized
   // page already passed the source checks below on its first fetch).
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = cache_.find(id);
     if (it != cache_.end()) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -52,7 +52,7 @@ Result<std::shared_ptr<const std::string>> Snapshot::ReadPage(
   if (pool_ != nullptr) {
     if (std::shared_ptr<const std::string> image = pool_->Lookup(key)) {
       pool_hits_.fetch_add(1, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       if (cache_.size() < cache_cap_) cache_.emplace(id, image);
       return image;
     }
@@ -82,7 +82,7 @@ Result<std::shared_ptr<const std::string>> Snapshot::ReadPage(
     // The pool adopts one winner per image; memoize whatever it keeps.
     out = pool_->Insert(key, std::move(out));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (cache_.size() < cache_cap_) {
     auto [it, inserted] = cache_.emplace(id, out);
     if (!inserted) out = it->second;

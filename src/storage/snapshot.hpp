@@ -49,7 +49,9 @@
 #include <unordered_map>
 
 #include "storage/pager.hpp"
+#include "util/mutex.hpp"
 #include "util/status.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bp::storage {
 
@@ -65,7 +67,8 @@ class Snapshot {
   // The latest committed page image of `id` as of this snapshot.
   // Thread-safe. The returned bytes (exactly kPageSize) stay valid for
   // as long as the caller holds the shared_ptr, even past the snapshot.
-  util::Result<std::shared_ptr<const std::string>> ReadPage(PageId id) const;
+  util::Result<std::shared_ptr<const std::string>> ReadPage(PageId id) const
+      BP_EXCLUDES(mu_);
 
   // Committed state this snapshot observes.
   uint64_t commit_seq() const { return commit_seq_; }
@@ -107,10 +110,10 @@ class Snapshot {
   // working set against eviction); without one they are private page
   // copies. Soft-capped: past `cache_cap_` pages reads stay
   // read-through (correct, just uncached).
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   mutable std::unordered_map<PageId, std::shared_ptr<const std::string>>
-      cache_;
-  size_t cache_cap_ = 0;
+      cache_ BP_GUARDED_BY(mu_);
+  size_t cache_cap_ = 0;  // frozen at BeginRead; read lock-free
 
   mutable std::atomic<uint64_t> pages_read_{0};
   mutable std::atomic<uint64_t> cache_hits_{0};

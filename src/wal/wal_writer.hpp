@@ -12,6 +12,19 @@
 // commit). Everything written by CommitTxn is immediately visible to
 // ReadPayload (the pager reads evicted pages back out of the log);
 // durability, not visibility, is what Sync() adds.
+//
+// Threading: deliberately lock-free and UNANNOTATED (no capability
+// attributes from util/thread_annotations.hpp). Every mutating method
+// (AddPage/CommitTxn/AbandonTxn/Sync/ResetToHeader) and the size
+// accessors belong to the pager's single writer thread — the same
+// external contract the Pager's own unguarded write-path members rely
+// on, enforced one layer up by the serialization on ProvenanceDb's
+// writer mutex. The one cross-thread entry point, ReadPayload, is
+// const, touches no writer-side members, and is made safe by the
+// per-file reader/writer lock inside File (see storage/env.hpp) plus
+// the pager's rule that checkpoint truncation never runs while a
+// snapshot is live. Adding a mutex here would annotate away a data
+// race that cannot occur while taxing every commit append.
 #pragma once
 
 #include <cstdint>

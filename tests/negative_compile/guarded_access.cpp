@@ -1,0 +1,34 @@
+// Negative-compile probe for the thread-safety annotations.
+//
+// Compiled twice by tests/negative_compile/CMakeLists.txt under
+// -Werror=thread-safety:
+//   * with -DBP_TAKE_THE_LOCK: the guarded access happens under a
+//     MutexLock — MUST compile (control: proves the harness and
+//     includes are sound, so a failure below means the analysis fired,
+//     not that the file is broken).
+//   * without it: the same access with no lock held — MUST FAIL with
+//     "writing variable 'value' requires holding mutex 'mu'", proving
+//     BP_GUARDED_BY is live and not expanding to nothing.
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+struct Counter {
+  bp::util::Mutex mu;
+  int value BP_GUARDED_BY(mu) = 0;
+
+  int Increment() {
+#if defined(BP_TAKE_THE_LOCK)
+    bp::util::MutexLock lock(mu);
+#endif
+    return ++value;
+  }
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.Increment() == 1 ? 0 : 1;
+}
