@@ -12,9 +12,22 @@ using util::Status;
 
 Result<std::unique_ptr<ProvenanceDb>> ProvenanceDb::Open(
     const std::string& path, Options options) {
+  // Validate up front: these zeros used to be silently coerced (or
+  // worse, wedge the pipeline downstream); an explicit error at Open is
+  // the only moment the caller is certainly looking.
+  if (options.ingest_batch == 0) {
+    return Status::InvalidArgument(
+        "Options::ingest_batch must be >= 1 (events per storage "
+        "transaction)");
+  }
+  if (options.async.enabled && options.async.queue_capacity == 0) {
+    return Status::InvalidArgument(
+        "Options::async.queue_capacity must be >= 1 when the async "
+        "pipeline is enabled");
+  }
   std::unique_ptr<ProvenanceDb> out(new ProvenanceDb());
   out->path_ = path;
-  out->ingest_batch_ = std::max<size_t>(1, options.ingest_batch);
+  out->ingest_batch_ = options.ingest_batch;
   BP_ASSIGN_OR_RETURN(out->db_, storage::Db::Open(path, options.db));
   BP_ASSIGN_OR_RETURN(out->store_,
                       ProvStore::Open(*out->db_, options.prov));
@@ -99,14 +112,66 @@ ProvenanceDb::~ProvenanceDb() {
     obs::MetricsRegistry::Global().RemoveCollector(metrics_token_);
   }
   // Join the committer (draining what it can) before any member it
-  // reaches into goes away.
+  // reaches into goes away. After an explicit Close() both of the
+  // above are already done and every reset below is a no-op.
   pipeline_.reset();
+}
+
+Status ProvenanceDb::Close() {
+  if (closed_.load(std::memory_order_acquire)) return Status::Ok();
+  // Refuse while state the teardown would invalidate is still live.
+  // Checked before any irreversible step so a refused Close leaves a
+  // fully working database.
+  {
+    util::RecursiveMutexLock lock(mu_);
+    if (db_->pager().InTransaction()) {
+      return Status::FailedPrecondition(
+          "Close inside an open Batch: commit or roll it back first");
+    }
+    if (db_->pager().live_snapshots() > 0) {
+      return Status::FailedPrecondition(
+          "Close with live SnapshotViews: destroy every view first");
+    }
+  }
+  // Drain the pipeline OUTSIDE mu_ (the committer takes it per batch),
+  // then join the committer and detach the collector — the same
+  // sequence as the destructor, but with the drain's verdict kept.
+  Status drain_status;
+  if (pipeline_ != nullptr) drain_status = pipeline_->Drain();
+  if (metrics_token_ != 0) {
+    obs::MetricsRegistry::Global().RemoveCollector(metrics_token_);
+    metrics_token_ = 0;
+  }
+  pipeline_.reset();
+  async_sink_.reset();
+
+  util::RecursiveMutexLock lock(mu_);
+  // Fold the log into the database file now (no-op in journal mode).
+  // ~Pager would do this too, but here the error surfaces — and on
+  // failure the log simply stays behind for the next Open to replay,
+  // so closing remains safe to continue.
+  Status checkpoint_status;
+  if (db_->pager().durability() == storage::DurabilityMode::kWal) {
+    checkpoint_status = db_->pager().Checkpoint();
+  }
+  final_stats_ = db_->pager().stats();
+  closed_.store(true, std::memory_order_release);
+  // Teardown in dependency order; ~Pager releases this database's
+  // frames from a shared buffer pool (BufferPool::DropOwner).
+  searcher_.reset();
+  bus_ = capture::EventBus();  // drop the raw recorder pointer first
+  recorder_.reset();
+  store_.reset();
+  db_.reset();
+  if (!drain_status.ok()) return drain_status;
+  return checkpoint_status;
 }
 
 // ------------------------------------------------------ async ingest
 
 Result<ProvenanceDb::IngestTicket> ProvenanceDb::IngestAsync(
     const capture::BrowserEvent& event) {
+  if (closed_.load(std::memory_order_acquire)) return ClosedError();
   if (pipeline_ == nullptr) {
     return Status::FailedPrecondition(
         "async ingest is disabled (Options::async.enabled = false)");
@@ -115,11 +180,13 @@ Result<ProvenanceDb::IngestTicket> ProvenanceDb::IngestAsync(
 }
 
 Status ProvenanceDb::Flush(IngestTicket ticket) {
+  if (closed_.load(std::memory_order_acquire)) return ClosedError();
   if (pipeline_ == nullptr) return Status::Ok();  // nothing is buffered
   return pipeline_->Flush(ticket);
 }
 
 Status ProvenanceDb::Drain() {
+  if (closed_.load(std::memory_order_acquire)) return ClosedError();
   if (pipeline_ == nullptr) return Status::Ok();
   return pipeline_->Drain();
 }
@@ -174,12 +241,14 @@ Status ProvenanceDb::SyncPipeline() {
 
 Status ProvenanceDb::Ingest(const capture::BrowserEvent& event) {
   util::RecursiveMutexLock lock(mu_);
+  if (closed_.load(std::memory_order_acquire)) return ClosedError();
   index_stale_ = true;
   return bus_.Publish(event);
 }
 
 Status ProvenanceDb::IngestAll(
     const std::vector<capture::BrowserEvent>& events) {
+  if (closed_.load(std::memory_order_acquire)) return ClosedError();
   for (size_t start = 0; start < events.size(); start += ingest_batch_) {
     const size_t end = std::min(events.size(), start + ingest_batch_);
     Batch batch(*this);
@@ -207,11 +276,13 @@ Status ProvenanceDb::RefreshIndex() {
 
 Status ProvenanceDb::Sync() {
   util::RecursiveMutexLock lock(mu_);
+  if (closed_.load(std::memory_order_acquire)) return ClosedError();
   return db_->pager().SyncWal();
 }
 
 Status ProvenanceDb::Checkpoint() {
   util::RecursiveMutexLock lock(mu_);
+  if (closed_.load(std::memory_order_acquire)) return ClosedError();
   if (db_->pager().durability() != storage::DurabilityMode::kWal) {
     return Status::Ok();  // nothing to fold: the db file is current
   }
@@ -244,6 +315,7 @@ Result<ProvenanceDb::SnapshotView> ProvenanceDb::BeginSnapshot() {
   // the frozen view (must run before the lock; the committer takes it).
   MaybeDrainForQuery();
   util::RecursiveMutexLock lock(mu_);
+  if (closed_.load(std::memory_order_acquire)) return ClosedError();
   if (db_->pager().InTransaction()) {
     // A snapshot here could not keep the "fully searchable" promise:
     // the index refresh would compose into the open batch (uncommitted,

@@ -63,6 +63,7 @@
 #include "storage/db.hpp"
 #include "storage/snapshot.hpp"
 #include "util/mutex.hpp"
+#include "util/require.hpp"
 #include "util/status.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -117,9 +118,34 @@ class ProvenanceDb {
     }
   };
 
-  // Opens (creating if needed) the full stack at `path`.
+  // Opens (creating if needed) the full stack at `path`. Rejects
+  // unusable options up front (InvalidArgument on ingest_batch == 0, or
+  // async.queue_capacity == 0 with async enabled) instead of letting
+  // them misbehave downstream.
   static util::Result<std::unique_ptr<ProvenanceDb>> Open(
       const std::string& path, Options options = {});
+
+  // Explicit clean shutdown: drains the async pipeline, joins the
+  // committer, checkpoints (WAL mode: folds the log into the database
+  // file), and releases every resource — including this database's
+  // frames in a shared buffer pool — without waiting for the
+  // destructor. This is what lets a handle cache (service layer) evict
+  // a database deterministically instead of relying on destructor
+  // ordering, and it surfaces the errors a destructor would swallow
+  // (the first of: drain failure, checkpoint failure).
+  //
+  // Preconditions: no open Batch, no live SnapshotView, and — like the
+  // destructor — no concurrent calls on this instance. Returns
+  // FailedPrecondition (and closes nothing) when a Batch or snapshot is
+  // still open.
+  //
+  // Post-Close contract: Close() again is Ok (idempotent); every
+  // ingestion, query, snapshot, and durability method returns
+  // FailedPrecondition("ProvenanceDb is closed"); storage_stats()
+  // keeps returning the final pre-close counters; DebugDump() still
+  // works (the registry is process-wide). Reopening the same path is
+  // supported and sees everything committed before the Close.
+  util::Status Close();
 
   ~ProvenanceDb();
   ProvenanceDb(const ProvenanceDb&) = delete;
@@ -183,8 +209,10 @@ class ProvenanceDb {
   //     BP_RETURN_IF_ERROR(batch.Commit()); }
   class Batch {
    public:
+    // Contract violation (throws) on a closed database: the batch
+    // would have no storage to compose into.
     explicit Batch(ProvenanceDb& db)
-        : db_(db),
+        : db_(CheckOpenForBatch(db)),
           lock_(db.mu_),
           watermark_(db.searcher_->indexed_watermark()),
           inner_(*db.store_) {
@@ -338,6 +366,7 @@ class ProvenanceDb {
   // storage::PagerStats). Cheap; safe from any thread.
   storage::PagerStats storage_stats() {
     util::RecursiveMutexLock lock(mu_);
+    if (closed_.load(std::memory_order_acquire)) return final_stats_;
     return db_->pager().stats();
   }
 
@@ -368,6 +397,17 @@ class ProvenanceDb {
 
  private:
   ProvenanceDb() = default;
+
+  // The post-Close error every operation returns (see Close()).
+  static util::Status ClosedError() {
+    return util::Status::FailedPrecondition("ProvenanceDb is closed");
+  }
+  // Batch's constructor guard: using a closed database is a caller bug.
+  static ProvenanceDb& CheckOpenForBatch(ProvenanceDb& db) {
+    BP_REQUIRE(!db.closed_.load(std::memory_order_acquire),
+               "Batch on a closed ProvenanceDb");
+    return db;
+  }
 
   // Re-indexes pages added since the last text-backed query, first
   // undoing index state left behind by a rolled-back Batch.
@@ -415,6 +455,7 @@ class ProvenanceDb {
       -> decltype(on_live()) {
     MaybeDrainForQuery();
     util::RecursiveMutexLock lock(mu_);
+    if (closed_.load(std::memory_order_acquire)) return ClosedError();
     if (UseSnapshotQueriesLocked()) {
       auto view = BeginSnapshotLocked(with_searcher);
       if (!view.ok()) return view.status();
@@ -431,6 +472,13 @@ class ProvenanceDb {
   util::RecursiveMutex mu_;
 
   std::string path_;  // database path: the `db` label on exported samples
+  // Set by Close() (under mu_; atomic so lock-free entry points —
+  // IngestAsync, Batch's guard — can read it). Once true, every member
+  // below except final_stats_ may be null.
+  std::atomic<bool> closed_{false};
+  // The last stats() before teardown; what storage_stats() reports
+  // after Close.
+  storage::PagerStats final_stats_;
   std::unique_ptr<storage::Db> db_;
   std::unique_ptr<ProvStore> store_;
   std::unique_ptr<capture::ProvenanceRecorder> recorder_;

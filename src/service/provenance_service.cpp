@@ -1,0 +1,411 @@
+#include "service/provenance_service.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+#include "obs/metrics.hpp"
+#include "util/hash.hpp"
+
+namespace bp::service {
+
+using util::Result;
+using util::Status;
+
+void ProvenanceService::Unlink(Entry* entry) {
+  entry->prev->next = entry->next;
+  entry->next->prev = entry->prev;
+  entry->prev = nullptr;
+  entry->next = nullptr;
+}
+
+void ProvenanceService::LinkFront(Entry& sentinel, Entry* entry) {
+  entry->next = sentinel.next;
+  entry->prev = &sentinel;
+  sentinel.next->prev = entry;
+  sentinel.next = entry;
+}
+
+Result<std::unique_ptr<ProvenanceService>> ProvenanceService::Create(
+    const std::string& root, ServiceOptions options) {
+  if (root.empty()) {
+    return Status::InvalidArgument("service root path must be non-empty");
+  }
+  if (options.workers == 0) {
+    return Status::InvalidArgument("ServiceOptions::workers must be >= 1");
+  }
+  if (options.max_live_handles == 0) {
+    return Status::InvalidArgument(
+        "ServiceOptions::max_live_handles must be >= 1");
+  }
+  if (options.queue_capacity == 0) {
+    return Status::InvalidArgument(
+        "ServiceOptions::queue_capacity must be >= 1");
+  }
+  // Mirror ProvenanceDb::Open's template validation here, so a bad
+  // per-profile template fails at Create instead of at the first
+  // (possibly much later) handle open on a worker thread.
+  if (options.db.ingest_batch == 0) {
+    return Status::InvalidArgument(
+        "ServiceOptions::db.ingest_batch must be >= 1");
+  }
+
+  auto svc = std::unique_ptr<ProvenanceService>(new ProvenanceService());
+  svc->root_ = root;
+  svc->options_ = std::move(options);
+  // The shard worker is the committer: a per-profile pipeline thread
+  // would multiply committers by open handles for no added overlap.
+  svc->options_.db.async.enabled = false;
+  // One byte budget across every profile: adopt the caller's shared
+  // pool or create one from the template's pool_bytes.
+  if (svc->options_.db.db.buffer_pool != nullptr) {
+    svc->pool_ = svc->options_.db.db.buffer_pool;
+  } else if (svc->options_.db.db.pool_bytes > 0) {
+    svc->pool_ =
+        std::make_shared<storage::BufferPool>(svc->options_.db.db.pool_bytes);
+  }
+  svc->options_.db.db.buffer_pool = svc->pool_;
+
+  {
+    util::MutexLock lock(svc->mu_);
+    svc->lru_.prev = &svc->lru_;
+    svc->lru_.next = &svc->lru_;
+  }
+
+  auto& reg = obs::MetricsRegistry::Global();
+  svc->ingest_us_ = reg.GetHistogram(
+      "bp_service_ingest_us", "service=\"" + root + "\"",
+      "Service enqueue latency, including blocking backpressure (us)");
+
+  for (size_t i = 0; i < svc->options_.workers; ++i) {
+    svc->workers_.push_back(std::make_unique<Worker>());
+  }
+  ProvenanceService* raw = svc.get();
+  svc->metrics_token_ = reg.AddCollector([raw](obs::CollectionSink& sink) {
+    // Runs at dump time only; Stats() takes each lock briefly.
+    ServiceStats stats = raw->Stats();
+    const std::string labels = "service=\"" + raw->root_ + "\"";
+    sink.Gauge("bp_service_live_handles", labels,
+               "Profile databases open right now",
+               static_cast<double>(stats.live_handles));
+    sink.Counter("bp_service_handle_hits", labels,
+                 "Handle acquisitions served by an open handle",
+                 static_cast<double>(stats.handle_hits));
+    sink.Counter("bp_service_handle_misses", labels,
+                 "Handle acquisitions that had to open",
+                 static_cast<double>(stats.handle_misses));
+    sink.Counter("bp_service_handle_opens", labels,
+                 "Profile databases opened (first opens + reopens)",
+                 static_cast<double>(stats.opens));
+    sink.Counter("bp_service_handle_reopens", labels,
+                 "Opens of a previously evicted profile",
+                 static_cast<double>(stats.reopens));
+    sink.Counter("bp_service_handle_evictions", labels,
+                 "Handles closed by LRU pressure",
+                 static_cast<double>(stats.evictions));
+    sink.Counter("bp_service_enqueued", labels,
+                 "Events accepted into worker queues",
+                 static_cast<double>(stats.enqueued));
+    sink.Counter("bp_service_committed", labels,
+                 "Events handed to storage by shard workers",
+                 static_cast<double>(stats.committed));
+    sink.Counter("bp_service_rejected", labels,
+                 "Full-queue rejections (BudgetExhausted)",
+                 static_cast<double>(stats.rejected));
+    sink.Counter("bp_service_blocked_enqueues", labels,
+                 "Enqueues that blocked on a full queue",
+                 static_cast<double>(stats.blocked_enqueues));
+    sink.Gauge("bp_service_max_queue_depth", labels,
+               "Deepest any shard queue has been",
+               static_cast<double>(stats.max_queue_depth));
+    for (size_t shard = 0; shard < stats.queue_depths.size(); ++shard) {
+      sink.Gauge("bp_service_queue_depth",
+                 labels + ",shard=\"" + std::to_string(shard) + "\"",
+                 "Shard queue depth right now",
+                 static_cast<double>(stats.queue_depths[shard]));
+    }
+  });
+
+  for (auto& worker : svc->workers_) {
+    Worker* w = worker.get();
+    w->thread = std::thread([raw, w] { raw->WorkerLoop(*w); });
+  }
+  return svc;
+}
+
+ProvenanceService::~ProvenanceService() {
+  // Stop accepting dump callbacks into a dying instance first;
+  // RemoveCollector blocks until any in-flight dump has finished.
+  if (metrics_token_ != 0) {
+    obs::MetricsRegistry::Global().RemoveCollector(metrics_token_);
+  }
+  // Stop the workers. The loop drains its queue before honoring stop,
+  // so everything accepted by Ingest reaches storage (lossless).
+  for (auto& worker : workers_) {
+    util::MutexLock lock(worker->mu);
+    worker->stop = true;
+    worker->work_cv.notify_all();
+    worker->space_cv.notify_all();
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  // Close every live handle cleanly (checkpoint + shared-pool frame
+  // release). Close errors are swallowed here exactly as a destructor
+  // chain would swallow them; call Drain() first to observe failures.
+  util::MutexLock lock(mu_);
+  for (auto& [profile, entry] : entries_) {
+    if (entry->db == nullptr) continue;
+    (void)entry->db->Close();
+    entry->db.reset();
+  }
+}
+
+size_t ProvenanceService::ShardOf(const std::string& profile) const {
+  // FNV-1a is stable across runs, platforms, and library versions —
+  // a profile's shard (and therefore its event order) never migrates.
+  return util::Fnv1a64(profile) % workers_.size();
+}
+
+Status ProvenanceService::Ingest(const std::string& profile,
+                                 const capture::BrowserEvent& event) {
+  if (profile.empty()) {
+    return Status::InvalidArgument("profile id must be non-empty");
+  }
+  obs::ScopedTimerUs timer(ingest_us_);
+  Worker& w = *workers_[ShardOf(profile)];
+  util::MutexLock lock(w.mu);
+  if (!w.status.ok()) return w.status;  // sticky shard failure
+  if (w.queue.size() >= options_.queue_capacity) {
+    if (options_.backpressure == capture::BackpressurePolicy::kReject) {
+      ++w.rejected;
+      return Status::BudgetExhausted("service shard queue is full");
+    }
+    ++w.blocked_enqueues;
+    while (w.queue.size() >= options_.queue_capacity && !w.stop &&
+           w.status.ok()) {
+      w.space_cv.wait(lock.native());
+    }
+    if (w.stop) return Status::Aborted("ProvenanceService is shutting down");
+    if (!w.status.ok()) return w.status;
+  }
+  w.queue.emplace_back(profile, event);
+  ++w.enqueued;
+  w.max_depth = std::max<uint64_t>(w.max_depth, w.queue.size());
+  w.work_cv.notify_one();
+  return Status::Ok();
+}
+
+Status ProvenanceService::Flush(const std::string& profile) {
+  if (profile.empty()) {
+    return Status::InvalidArgument("profile id must be non-empty");
+  }
+  Worker& w = *workers_[ShardOf(profile)];
+  util::MutexLock lock(w.mu);
+  // Worker-level barrier: everything enqueued on this shard before the
+  // call — a superset of the profile's own events, which is what makes
+  // it a read-your-writes barrier for the profile. `committed` advances
+  // even past a failed batch (the failure goes to `status` instead), so
+  // this wait cannot hang on an error.
+  const uint64_t target = w.enqueued;
+  while (w.committed < target && !w.stop) {
+    w.ack_cv.wait(lock.native());
+  }
+  return w.status;
+}
+
+Status ProvenanceService::Drain() {
+  Status first;
+  for (auto& worker : workers_) {
+    Worker& w = *worker;
+    util::MutexLock lock(w.mu);
+    const uint64_t target = w.enqueued;
+    while (w.committed < target && !w.stop) {
+      w.ack_cv.wait(lock.native());
+    }
+    if (!w.status.ok() && first.ok()) first = w.status;
+  }
+  return first;
+}
+
+Status ProvenanceService::WithSnapshot(
+    const std::string& profile,
+    const std::function<Status(prov::ProvenanceDb::SnapshotView&)>& fn) {
+  // Read-your-writes: the profile's shard commits everything enqueued
+  // before this call, then the snapshot freezes it.
+  BP_RETURN_IF_ERROR(Flush(profile));
+  Result<Entry*> entry = AcquireHandle(profile);
+  if (!entry.ok()) return entry.status();
+  Entry* e = *entry;
+  Status out;
+  {
+    // The pin taken above is what keeps `e->db` alive and un-evicted
+    // for the view's whole lifetime; the view must die before it.
+    Result<prov::ProvenanceDb::SnapshotView> view = e->db->BeginSnapshot();
+    if (!view.ok()) {
+      out = view.status();
+    } else {
+      out = fn(*view);
+    }
+  }
+  ReleaseHandle(e);
+  return out;
+}
+
+ServiceStats ProvenanceService::Stats() {
+  ServiceStats out;
+  {
+    util::MutexLock lock(mu_);
+    out.live_handles = live_handles_;
+    out.handle_hits = handle_hits_;
+    out.handle_misses = handle_misses_;
+    out.opens = opens_;
+    out.reopens = reopens_;
+    out.evictions = evictions_;
+  }
+  for (auto& worker : workers_) {
+    Worker& w = *worker;
+    util::MutexLock lock(w.mu);
+    out.queue_depths.push_back(w.queue.size());
+    out.enqueued += w.enqueued;
+    out.committed += w.committed;
+    out.rejected += w.rejected;
+    out.blocked_enqueues += w.blocked_enqueues;
+    out.max_queue_depth = std::max(out.max_queue_depth, w.max_depth);
+  }
+  return out;
+}
+
+void ProvenanceService::WorkerLoop(Worker& worker) {
+  for (;;) {
+    std::vector<std::pair<std::string, capture::BrowserEvent>> batch;
+    {
+      util::MutexLock lock(worker.mu);
+      while (worker.queue.empty() && !worker.stop) {
+        worker.work_cv.wait(lock.native());
+      }
+      if (worker.queue.empty() && worker.stop) return;
+      batch.assign(std::make_move_iterator(worker.queue.begin()),
+                   std::make_move_iterator(worker.queue.end()));
+      worker.queue.clear();
+    }
+    const uint64_t n = batch.size();
+    Status status = CommitBatch(std::move(batch));
+    {
+      util::MutexLock lock(worker.mu);
+      // Advance the watermark even on failure (Flush returns the sticky
+      // status; it must not hang), and keep only the FIRST failure —
+      // later batches may partially succeed but the shard is poisoned.
+      worker.committed += n;
+      if (!status.ok() && worker.status.ok()) worker.status = status;
+      worker.space_cv.notify_all();
+      worker.ack_cv.notify_all();
+    }
+  }
+}
+
+Status ProvenanceService::CommitBatch(
+    std::vector<std::pair<std::string, capture::BrowserEvent>>&& batch) {
+  // Group by profile in FIRST-APPEARANCE order — not map order — so
+  // commit order follows enqueue order and a run's handle-cache churn
+  // is deterministic for a deterministic enqueue sequence.
+  std::vector<std::pair<std::string, std::vector<capture::BrowserEvent>>>
+      groups;
+  std::unordered_map<std::string, size_t> index;
+  for (auto& [profile, event] : batch) {
+    auto [it, inserted] = index.emplace(profile, groups.size());
+    if (inserted) groups.emplace_back(profile, std::vector<capture::BrowserEvent>());
+    groups[it->second].second.push_back(std::move(event));
+  }
+  // One profile's failure (open or commit) must not strand the other
+  // profiles' already-accepted events: keep committing, report the
+  // first error as the shard's sticky status.
+  Status first;
+  for (auto& [profile, events] : groups) {
+    Result<Entry*> entry = AcquireHandle(profile);
+    if (!entry.ok()) {
+      if (first.ok()) first = entry.status();
+      continue;
+    }
+    Status status = (*entry)->db->IngestAll(events);
+    ReleaseHandle(*entry);
+    if (!status.ok() && first.ok()) first = status;
+  }
+  return first;
+}
+
+Result<ProvenanceService::Entry*> ProvenanceService::AcquireHandle(
+    const std::string& profile) {
+  util::MutexLock lock(mu_);
+  auto it = entries_.find(profile);
+  Entry* entry;
+  if (it == entries_.end()) {
+    auto owned = std::make_unique<Entry>();
+    owned->profile = profile;
+    entry = owned.get();
+    entries_.emplace(profile, std::move(owned));
+  } else {
+    entry = it->second.get();
+  }
+  if (entry->db != nullptr) {
+    ++handle_hits_;
+    ++entry->pins;
+    Unlink(entry);
+    LinkFront(lru_, entry);
+    return entry;
+  }
+  ++handle_misses_;
+  // Open on demand, under the registry lock: opens and closes
+  // serialize, which is the simplicity/throughput trade this cache
+  // makes (commits themselves run unlocked; only handle churn queues).
+  Result<std::unique_ptr<prov::ProvenanceDb>> db =
+      prov::ProvenanceDb::Open(PathFor(profile), options_.db);
+  if (!db.ok()) return db.status();
+  entry->db = std::move(*db);
+  ++opens_;
+  if (entry->ever_opened) ++reopens_;
+  entry->ever_opened = true;
+  ++entry->pins;
+  ++live_handles_;
+  LinkFront(lru_, entry);
+  Status evicted = EvictLocked();
+  if (!evicted.ok()) {
+    // The victim's failure, not this handle's — but surfacing it beats
+    // losing it. The new handle stays open; drop our pin and fail.
+    --entry->pins;
+    return evicted;
+  }
+  return entry;
+}
+
+void ProvenanceService::ReleaseHandle(Entry* entry) {
+  util::MutexLock lock(mu_);
+  --entry->pins;
+  if (live_handles_ > options_.max_live_handles) {
+    // The cache may be over its (soft) cap because everything was
+    // pinned; shrink back as pins drop. A Close failure here has
+    // nowhere to surface (release is void, mirroring unpin-in-dtor
+    // paths); the victim's data is committed up to the failure and the
+    // next reopen re-arms the checkpoint.
+    (void)EvictLocked();
+  }
+}
+
+Status ProvenanceService::EvictLocked() {
+  while (live_handles_ > options_.max_live_handles) {
+    Entry* victim = lru_.prev;
+    while (victim != &lru_ && victim->pins > 0) victim = victim->prev;
+    if (victim == &lru_) break;  // only pinned handles left: cap is soft
+    Unlink(victim);
+    --live_handles_;
+    ++evictions_;
+    // Clean close: drain (trivial — async is off), checkpoint, release
+    // shared-pool frames. The entry itself stays in the map so a later
+    // acquisition reopens (and is counted as a reopen).
+    Status status = victim->db->Close();
+    victim->db.reset();
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+}  // namespace bp::service

@@ -1,0 +1,285 @@
+// ProvenanceService: many profile databases behind one process.
+//
+// The paper's engine is per-profile — one ProvenanceDb per browser
+// profile (or per user on a shared machine). A deployment that hosts
+// many profiles cannot afford one committer thread and one page-cache
+// budget per profile, so the service multiplexes them:
+//
+//   capture threads ──Ingest(profile, event)──▶ shard router
+//        │                                          │
+//        │                 stable hash(profile) % N │
+//        ▼                                          ▼
+//   [worker 0]   [worker 1]   ...   [worker N-1]     (one thread each,
+//    bounded      bounded            bounded          owns ingest and
+//    queue        queue              queue            commit for its
+//        │            │                  │            shard's profiles)
+//        └────────────┴──────────────────┘
+//                     │ open-on-demand, pinned while in use
+//                     ▼
+//            handle cache (LRU, max_live_handles)
+//                     │
+//        ┌────────────┼──────────────────┐
+//        ▼            ▼                  ▼
+//   profile0.db   profile1.db   ...  profileK.db     (K can exceed the
+//        └────────────┴──────────────────┘            live-handle cap)
+//                     │
+//                     ▼
+//        one shared BufferPool byte budget
+//
+// Shard router. A profile's id hashes (FNV-1a, stable across runs and
+// platforms) onto one of N workers; every event for that profile is
+// committed by that worker's thread, so per-profile event order is
+// preserved and a profile's database never sees two writers. Profile
+// databases are therefore opened with the async pipeline DISABLED —
+// the shard worker IS the committer; N workers replace what would
+// otherwise be one committer thread per open database.
+//
+// Handle cache. Handles open on demand and live in an intrusive LRU
+// capped at max_live_handles. Eviction takes the coldest UNPINNED
+// handle and closes it cleanly through ProvenanceDb::Close() — drain,
+// checkpoint, release of its frames in the shared buffer pool — so a
+// reopened profile recovers everything committed. A handle is pinned
+// (like a buffer-pool frame) while a worker commits into it and for
+// the whole lifetime of a WithSnapshot view; pinned handles are
+// spared, which makes the cap soft: when live readers pin more than
+// max_live_handles, the cache grows past the cap rather than failing.
+//
+// Backpressure. Each worker's queue is bounded (queue_capacity);
+// kBlock parks the capture thread until the worker catches up
+// (lossless), kReject returns BudgetExhausted immediately — the
+// service-level saturation signal. A worker's commit failure is
+// sticky, exactly like the single-db ingest pipeline: acknowledged
+// events are unaffected, later Ingest/Flush on that shard return the
+// error.
+//
+// Memory. Every profile database shares ONE BufferPool (one global
+// byte budget) via DbOptions::buffer_pool injection; the service
+// creates the pool when the caller did not supply one.
+//
+// Lock order: a worker's mu and the registry mu_ are never held
+// together (pop queue → release → acquire handle → release → commit
+// unlocked), so the two layers cannot deadlock.
+//
+//   service::ServiceOptions options;
+//   options.workers = 4;
+//   options.max_live_handles = 8;
+//   auto svc = service::ProvenanceService::Create("/profiles", options);
+//   (*svc)->Ingest("alice", event);
+//   (*svc)->WithSnapshot("alice", [&](prov::ProvenanceDb::SnapshotView& v) {
+//     auto hits = v.Search("rosebud");
+//     ...
+//     return util::Status::Ok();
+//   });
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "capture/events.hpp"
+#include "capture/pipeline.hpp"
+#include "prov/provenance_db.hpp"
+#include "storage/buffer_pool.hpp"
+#include "util/mutex.hpp"
+#include "util/status.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace bp::obs {
+class Histogram;
+}  // namespace bp::obs
+
+namespace bp::service {
+
+struct ServiceOptions {
+  // Shard workers: each owns a thread committing its shard's profiles.
+  size_t workers = 2;
+  // Live-handle cap for the LRU cache (soft while handles are pinned).
+  size_t max_live_handles = 8;
+  // Events each worker's queue buffers before backpressure applies.
+  size_t queue_capacity = 4096;
+  // Full-queue policy: kBlock parks the capture thread (lossless);
+  // kReject returns BudgetExhausted without blocking.
+  capture::BackpressurePolicy backpressure =
+      capture::BackpressurePolicy::kBlock;
+  // Template for every profile database the service opens. The service
+  // overrides async.enabled (always false — the shard worker is the
+  // committer) and db.buffer_pool (shared across all profiles; created
+  // from db.db.pool_bytes when left null). Everything else — env,
+  // durability, group commit, ingest_batch — applies per profile.
+  prov::ProvenanceDb::Options db;
+};
+
+// Aggregate service counters (see Stats()).
+struct ServiceStats {
+  // Handle cache.
+  uint64_t live_handles = 0;    // open right now
+  uint64_t handle_hits = 0;     // acquisitions served by an open handle
+  uint64_t handle_misses = 0;   // acquisitions that had to open
+  uint64_t opens = 0;           // databases opened (first opens + reopens)
+  uint64_t reopens = 0;         // opens of a previously evicted profile
+  uint64_t evictions = 0;       // handles closed by LRU pressure
+  // Ingest.
+  uint64_t enqueued = 0;        // events accepted into worker queues
+  uint64_t committed = 0;       // events handed to storage by workers
+  uint64_t rejected = 0;        // kReject refusals (BudgetExhausted)
+  uint64_t blocked_enqueues = 0;  // kBlock waits on a full queue
+  // Per-shard queue depth right now, indexed by shard; and the deepest
+  // any shard's queue has ever been.
+  std::vector<uint64_t> queue_depths;
+  uint64_t max_queue_depth = 0;
+};
+
+class ProvenanceService {
+ public:
+  // Stands the service up at `root`: profile `p` lives at
+  // `<root>/p.db`. Rejects unusable options (InvalidArgument on empty
+  // root, workers == 0, max_live_handles == 0, or queue_capacity == 0)
+  // and anything ProvenanceDb::Open would reject in the per-profile
+  // template. Worker threads start immediately.
+  static util::Result<std::unique_ptr<ProvenanceService>> Create(
+      const std::string& root, ServiceOptions options = {});
+
+  // Drains every worker, closes every handle, unregisters metrics.
+  // Like ProvenanceDb, destruction must not race other calls.
+  ~ProvenanceService();
+  ProvenanceService(const ProvenanceService&) = delete;
+  ProvenanceService& operator=(const ProvenanceService&) = delete;
+
+  // Routes `event` to `profile`'s shard worker and returns once it is
+  // queued (not committed — Flush is the barrier). InvalidArgument on
+  // an empty profile id; BudgetExhausted when the shard's queue is
+  // full under kReject; the shard's sticky error after a commit or
+  // open failure. Any thread may call this concurrently.
+  util::Status Ingest(const std::string& profile,
+                      const capture::BrowserEvent& event);
+
+  // Blocks until everything enqueued for `profile`'s SHARD before this
+  // call has been handed to storage (the barrier is per worker, which
+  // is what makes it a read-your-writes barrier for the profile).
+  // Returns the shard's sticky error, if any.
+  util::Status Flush(const std::string& profile);
+  // Flush over every shard.
+  util::Status Drain();
+
+  // Read-your-writes snapshot query: flushes `profile`'s shard, pins
+  // the profile's handle (opening it on demand — a pinned handle
+  // cannot be evicted, so the view's pages stay reachable), opens a
+  // SnapshotView and runs `fn` against it. The view dies before the
+  // pin is released; do not stash it. `fn` runs on the calling thread
+  // with no service lock held, fully in parallel with ingestion.
+  util::Status WithSnapshot(
+      const std::string& profile,
+      const std::function<util::Status(prov::ProvenanceDb::SnapshotView&)>&
+          fn);
+
+  // Aggregate counters; safe from any thread, takes each lock briefly.
+  ServiceStats Stats();
+
+  size_t workers() const { return workers_.size(); }
+  // The shard worker `profile` routes to (stable across runs).
+  size_t ShardOf(const std::string& profile) const;
+  // The shared pool behind every profile database.
+  const std::shared_ptr<storage::BufferPool>& buffer_pool() const {
+    return pool_;
+  }
+
+ private:
+  // One cached profile database. Entries are map-owned (stable
+  // addresses); the intrusive LRU links thread through OPEN entries
+  // only. All fields are guarded by the registry mu_ — spelled with an
+  // AssertHeld in the helpers rather than BP_GUARDED_BY because the
+  // guarding mutex lives in the enclosing service, not the entry.
+  struct Entry {
+    std::string profile;
+    std::unique_ptr<prov::ProvenanceDb> db;  // null = not open
+    size_t pins = 0;
+    bool ever_opened = false;  // distinguishes opens from reopens
+    Entry* prev = nullptr;     // intrusive LRU; head = MRU
+    Entry* next = nullptr;
+  };
+
+  // One shard: a bounded queue and the thread that drains it.
+  struct Worker {
+    util::Mutex mu;
+    std::condition_variable work_cv;   // queue went non-empty / stop
+    std::condition_variable space_cv;  // queue has room again / stop
+    std::condition_variable ack_cv;    // committed advanced
+    std::deque<std::pair<std::string, capture::BrowserEvent>> queue
+        BP_GUARDED_BY(mu);
+    uint64_t enqueued BP_GUARDED_BY(mu) = 0;
+    uint64_t committed BP_GUARDED_BY(mu) = 0;
+    uint64_t rejected BP_GUARDED_BY(mu) = 0;
+    uint64_t blocked_enqueues BP_GUARDED_BY(mu) = 0;
+    uint64_t max_depth BP_GUARDED_BY(mu) = 0;
+    util::Status status BP_GUARDED_BY(mu);  // sticky first failure
+    bool stop BP_GUARDED_BY(mu) = false;
+    std::thread thread;  // set once at Create, joined at destruction
+  };
+
+  ProvenanceService() = default;
+
+  // Shard worker main loop: pop everything pending, group by profile
+  // (first-appearance order, so commit order follows enqueue order),
+  // commit group by group through pinned handles.
+  void WorkerLoop(Worker& worker);
+  // Commits one batch; called by WorkerLoop with no lock held.
+  // Returns the first failure (handle open or IngestAll).
+  util::Status CommitBatch(
+      std::vector<std::pair<std::string, capture::BrowserEvent>>&& batch);
+
+  // Intrusive LRU surgery over registry entries; mirrors the buffer
+  // pool's list. Callers hold mu_ (which guards the sentinel and every
+  // link these touch).
+  static void Unlink(Entry* entry);
+  static void LinkFront(Entry& sentinel, Entry* entry);
+
+  // Pins (opening on demand) `profile`'s handle. The returned entry
+  // stays valid until ReleaseHandle; its db is non-null. May evict the
+  // coldest unpinned handle(s) to respect max_live_handles.
+  util::Result<Entry*> AcquireHandle(const std::string& profile)
+      BP_EXCLUDES(mu_);
+  void ReleaseHandle(Entry* entry) BP_EXCLUDES(mu_);
+  // Closes coldest unpinned handles until live_handles_ is within the
+  // cap (or only pinned handles remain — the cap is soft). The first
+  // Close error aborts the scan and is returned; the victim is dropped
+  // regardless (its data is committed up to the failure, and keeping a
+  // half-closed handle live would be worse).
+  util::Status EvictLocked() BP_REQUIRES(mu_);
+
+  std::string PathFor(const std::string& profile) const {
+    return root_ + "/" + profile + ".db";
+  }
+
+  std::string root_;
+  ServiceOptions options_;
+  std::shared_ptr<storage::BufferPool> pool_;
+
+  // ---- handle registry -----------------------------------------------
+  util::Mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Entry>> entries_
+      BP_GUARDED_BY(mu_);
+  Entry lru_ BP_GUARDED_BY(mu_);  // sentinel: next = MRU, prev = coldest
+  uint64_t live_handles_ BP_GUARDED_BY(mu_) = 0;
+  uint64_t handle_hits_ BP_GUARDED_BY(mu_) = 0;
+  uint64_t handle_misses_ BP_GUARDED_BY(mu_) = 0;
+  uint64_t opens_ BP_GUARDED_BY(mu_) = 0;
+  uint64_t reopens_ BP_GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ BP_GUARDED_BY(mu_) = 0;
+
+  // ---- shard workers -------------------------------------------------
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  // ---- observability -------------------------------------------------
+  // Enqueue latency (includes kBlock waits), recorded by Ingest.
+  obs::Histogram* ingest_us_ = nullptr;
+  uint64_t metrics_token_ = 0;  // pull collector; removed in dtor
+};
+
+}  // namespace bp::service

@@ -177,6 +177,30 @@ std::shared_ptr<const std::string> BufferPool::Insert(
   return out;
 }
 
+uint64_t BufferPool::DropOwner(uint32_t owner) {
+  uint64_t dropped = 0;
+  for (size_t i = 0; i < kShards; ++i) {
+    Shard& shard = shards_[i];
+    util::MutexLock lock(shard.mu);
+    for (auto it = shard.frames.begin(); it != shard.frames.end();) {
+      Frame* frame = it->second.get();
+      if (frame->key.owner != owner || frame->data.use_count() > 1) {
+        // Another owner's frame, or one still referenced outside the
+        // pool (use_count is exact under the shard lock, same argument
+        // as EvictUnderLock): leave it for the normal LRU to retire.
+        ++it;
+        continue;
+      }
+      shard.bytes -= frame->data->size();
+      ++shard.evictions;
+      Unlink(frame);
+      it = shard.frames.erase(it);
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
 BufferPoolStats BufferPool::stats() const {
   BufferPoolStats out;
   for (size_t i = 0; i < kShards; ++i) {

@@ -109,6 +109,17 @@ class BufferPool {
   std::shared_ptr<const std::string> Insert(
       const PageImageKey& key, std::shared_ptr<const std::string> page);
 
+  // Drops every unpinned frame belonging to `owner` and returns how
+  // many were dropped. A closing pager calls this: its owner id is
+  // never reused, so its frames can never be looked up again — without
+  // the drop they would squat on the shared budget until cold-end
+  // pressure happened to age them out, which matters when many
+  // databases share one pool (the multi-profile service opens and
+  // closes handles continuously). Pinned frames (an image some reader
+  // still holds) are left behind; they evict normally once released.
+  // Thread-safe.
+  uint64_t DropOwner(uint32_t owner);
+
   // Process-unique owner id for a pager joining this (or any) pool.
   static uint32_t NextOwnerId();
 

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <mutex>
 #include <shared_mutex>
+#include <thread>
 
 #include "util/mutex.hpp"
 #include "util/require.hpp"
@@ -120,6 +121,7 @@ struct MemEnv::Shared {
   bool logging = false;
   std::vector<MemEnvOp> ops;
   uint32_t sync_cost_us = 0;
+  bool sync_sleeps = false;
   std::atomic<uint64_t> sync_count{0};
   // Atomic (unlike sync_cost_us): benches flip it mid-run while reader
   // threads are inside Read.
@@ -183,12 +185,20 @@ class MemFile : public File {
   Status Sync() override {
     shared_->sync_count.fetch_add(1, std::memory_order_relaxed);
     if (shared_->sync_cost_us > 0) {
-      // Busy-wait (steady clock) so MemEnv benchmarks charge wall-clock
-      // time per fsync the way a real device would, deterministically
-      // and without involving the scheduler.
-      auto until = std::chrono::steady_clock::now() +
-                   std::chrono::microseconds(shared_->sync_cost_us);
-      while (std::chrono::steady_clock::now() < until) {
+      if (shared_->sync_sleeps) {
+        // Yield the core for the duration, like a thread blocked in a
+        // real fsync — lets independent committers overlap their syncs
+        // even on a single-core machine.
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(shared_->sync_cost_us));
+      } else {
+        // Busy-wait (steady clock) so MemEnv benchmarks charge
+        // wall-clock time per fsync the way a real device would,
+        // deterministically and without involving the scheduler.
+        auto until = std::chrono::steady_clock::now() +
+                     std::chrono::microseconds(shared_->sync_cost_us);
+        while (std::chrono::steady_clock::now() < until) {
+        }
       }
     }
     return Status::Ok();
@@ -309,6 +319,8 @@ Status MemEnv::ApplyOps(const std::vector<MemEnvOp>& ops, size_t count,
 }
 
 void MemEnv::set_sync_cost_us(uint32_t us) { shared_->sync_cost_us = us; }
+
+void MemEnv::set_sync_sleeps(bool sleeps) { shared_->sync_sleeps = sleeps; }
 
 void MemEnv::set_read_cost_us(uint32_t us) {
   shared_->read_cost_us.store(us, std::memory_order_relaxed);

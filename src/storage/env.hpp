@@ -111,6 +111,14 @@ class MemEnv : public Env {
   // MemEnv reads are otherwise free, which hides the entire cost the
   // buffer pool exists to remove). Default 0. Safe to flip mid-run.
   void set_read_cost_us(uint32_t us);
+  // When true, the simulated sync latency is paid with a real sleep
+  // instead of a busy-wait. A busy-wait charges the CORE, which is the
+  // deterministic model for single-committer benches; a sleep yields it,
+  // which is what an actual fsync does (the thread blocks in the kernel
+  // and other threads run). Concurrency benches that measure overlap of
+  // independent committers need the sleep model — on a one-core machine
+  // busy-wait "fsyncs" can never overlap at all. Default false.
+  void set_sync_sleeps(bool sleeps);
   uint64_t sync_count() const;
 
   // Env-wide state reachable from every open MemFile, and one file's

@@ -154,6 +154,11 @@ Pager::~Pager() {
     wal_.reset();
     if (folded) (void)options_.env->Remove(WalPath());
   }
+  // Give the shared pool its bytes back: this owner id is never reused,
+  // so frames published under it are unreachable from here on — without
+  // the drop they would hold budget other databases sharing the pool
+  // could use (see BufferPool::DropOwner).
+  if (pool_ != nullptr) pool_->DropOwner(pool_owner_);
 }
 
 Status Pager::InitializeNewDb() {

@@ -186,5 +186,31 @@ TEST(BufferPoolTest, ConcurrentMixedTrafficKeepsImagesIntact) {
   EXPECT_LE(stats.bytes, budget);
 }
 
+TEST(BufferPoolTest, DropOwnerForgetsOnlyThatOwnersUnpinnedFrames) {
+  BufferPool pool(1 << 20);
+  PageImageKey mine_cold{/*owner=*/1, /*id=*/1, /*generation=*/0,
+                         /*offset=*/8};
+  PageImageKey mine_held{/*owner=*/1, /*id=*/2, /*generation=*/0,
+                         /*offset=*/16};
+  PageImageKey theirs{/*owner=*/2, /*id=*/1, /*generation=*/0, /*offset=*/8};
+  (void)pool.Insert(mine_cold, Image('c'));
+  auto held = pool.Insert(mine_held, Image('h'));  // pinned by `held`
+  (void)pool.Insert(theirs, Image('t'));
+
+  // Drops the cold frame, spares the pinned one and the other owner's.
+  EXPECT_EQ(pool.DropOwner(1), 1u);
+  EXPECT_EQ(pool.Lookup(mine_cold), nullptr);
+  ASSERT_NE(pool.Lookup(mine_held), nullptr);
+  ASSERT_NE(pool.Lookup(theirs), nullptr);
+  EXPECT_EQ(pool.Lookup(theirs)->front(), 't');
+
+  // Once the caller releases the image, a second drop reclaims it.
+  held.reset();
+  EXPECT_EQ(pool.DropOwner(1), 1u);
+  EXPECT_EQ(pool.Lookup(mine_held), nullptr);
+  // The other owner is untouched throughout.
+  EXPECT_NE(pool.Lookup(theirs), nullptr);
+}
+
 }  // namespace
 }  // namespace bp::storage

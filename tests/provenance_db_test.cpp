@@ -13,6 +13,7 @@
 #include "places/places.hpp"
 #include "prov/provenance_db.hpp"
 #include "sim/scenario.hpp"
+#include "storage/buffer_pool.hpp"
 #include "storage/env.hpp"
 
 namespace bp::prov {
@@ -471,6 +472,166 @@ TEST_F(ProvenanceDbTest, DebugDumpExportsMetricsAndSpans) {
   EXPECT_NE(text.find("# TYPE bp_commit_us summary"), std::string::npos);
   EXPECT_NE(text.find("bp_pager_commits{db=\"facade.db\"}"),
             std::string::npos);
+}
+
+TEST_F(ProvenanceDbTest, OpenRejectsUnusableOptions) {
+  ProvenanceDb::Options options;
+  options.db.env = &env_;
+  options.ingest_batch = 0;
+  EXPECT_EQ(ProvenanceDb::Open("bad.db", options).status().code(),
+            util::StatusCode::kInvalidArgument);
+
+  options = ProvenanceDb::Options();
+  options.db.env = &env_;
+  options.async.queue_capacity = 0;
+  EXPECT_EQ(ProvenanceDb::Open("bad.db", options).status().code(),
+            util::StatusCode::kInvalidArgument);
+
+  // queue_capacity is only meaningful with the pipeline on: disabled
+  // async makes the zero harmless and Open must accept it.
+  options.async.enabled = false;
+  EXPECT_TRUE(ProvenanceDb::Open("ok.db", options).ok());
+}
+
+TEST_F(ProvenanceDbTest, CloseDrainsCheckpointsAndSupportsReopen) {
+  IngestRosebudSession();
+  sim::ScenarioBuilder s;
+  s.Visit(1, "http://late.example/", "late page",
+          capture::NavigationAction::kTyped);
+  ASSERT_TRUE(db_->IngestAsync(s.events()[0]).ok());
+
+  // Close drains the pipeline (the async event must not be lost) and
+  // checkpoints the WAL into the main file.
+  ASSERT_TRUE(db_->Close().ok());
+  EXPECT_TRUE(db_->Close().ok()) << "Close must be idempotent";
+
+  // storage_stats() keeps answering with the final pre-close counters.
+  storage::PagerStats final_stats = db_->storage_stats();
+  EXPECT_GT(final_stats.commits, 0u);
+  EXPECT_EQ(final_stats.commits, db_->storage_stats().commits);
+
+  // Reopen on the same env sees everything committed before Close.
+  ProvenanceDb::Options options;
+  options.db.env = &env_;
+  auto reopened = ProvenanceDb::Open("facade.db", options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE((*reopened)->store().PageForUrl("http://late.example/").ok());
+  EXPECT_TRUE((*reopened)
+                  ->store()
+                  .PageForUrl("http://films.example/citizen-kane")
+                  .ok());
+}
+
+TEST_F(ProvenanceDbTest, EveryOperationFailsCleanlyAfterClose) {
+  IngestRosebudSession();
+  ASSERT_TRUE(db_->Close().ok());
+
+  sim::ScenarioBuilder s;
+  s.Visit(1, "http://x.example/", "x", capture::NavigationAction::kTyped);
+  const auto closed = util::StatusCode::kFailedPrecondition;
+  EXPECT_EQ(db_->Ingest(s.events()[0]).code(), closed);
+  EXPECT_EQ(db_->IngestAll(s.events()).code(), closed);
+  EXPECT_EQ(db_->IngestAsync(s.events()[0]).status().code(), closed);
+  EXPECT_EQ(db_->Flush(ProvenanceDb::IngestTicket{}).code(), closed);
+  EXPECT_EQ(db_->Drain().code(), closed);
+  EXPECT_EQ(db_->Sync().code(), closed);
+  EXPECT_EQ(db_->Checkpoint().code(), closed);
+  EXPECT_EQ(db_->Search("rosebud").status().code(), closed);
+  EXPECT_EQ(db_->TextualSearch("rosebud").status().code(), closed);
+  EXPECT_EQ(db_->Personalize("rosebud").status().code(), closed);
+  EXPECT_EQ(db_->TimeContext("a", "b").status().code(), closed);
+  EXPECT_EQ(db_->TraceDownload(1).status().code(), closed);
+  EXPECT_EQ(db_->DescendantDownloads("http://x.example/").status().code(),
+            closed);
+  EXPECT_EQ(db_->BeginSnapshot().status().code(), closed);
+  // DebugDump is registry-backed and must keep working.
+  EXPECT_NE(db_->DebugDump().find("bp-metrics-v1"), std::string::npos);
+}
+
+TEST_F(ProvenanceDbTest, TwoDbsShareOneInjectedPoolBudget) {
+  // Two databases, one injected BufferPool: one global byte budget,
+  // concurrent readers on both, per-db counters stay consistent (with
+  // a shared pool, PagerStats reports the POOL's totals — both handles
+  // must agree with each other and with the pool), and closing one
+  // database releases its frames without disturbing the other. Runs
+  // under TSan in CI with the rest of the suite.
+  const size_t budget = storage::BufferPool::kShards * 4 * storage::kPageSize;
+  auto pool = std::make_shared<storage::BufferPool>(budget);
+  ProvenanceDb::Options options;
+  options.db.env = &env_;
+  options.db.buffer_pool = pool;
+
+  auto a = ProvenanceDb::Open("shared_a.db", options);
+  auto b = ProvenanceDb::Open("shared_b.db", options);
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  auto fill = [](ProvenanceDb& db, const std::string& host) {
+    sim::ScenarioBuilder s;
+    for (int i = 0; i < 120; ++i) {
+      s.Visit(1, "http://" + host + "/p" + std::to_string(i),
+              host + " page " + std::to_string(i),
+              capture::NavigationAction::kTyped);
+      s.Wait(util::Seconds(1));
+    }
+    ASSERT_TRUE(db.IngestAll(s.events()).ok());
+  };
+  fill(**a, "a.example");
+  fill(**b, "b.example");
+
+  std::vector<std::thread> readers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      ProvenanceDb& db = (t % 2 == 0) ? **a : **b;
+      const std::string host = (t % 2 == 0) ? "a.example" : "b.example";
+      for (int i = 0; i < 40; ++i) {
+        if (!db.store()
+                 .PageForUrl("http://" + host + "/p" + std::to_string(i % 120))
+                 .ok()) {
+          failures.fetch_add(1);
+        }
+        if (!db.TextualSearch("page").ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& reader : readers) reader.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Quiesced: both handles and the pool itself agree on the counters.
+  storage::BufferPoolStats pool_stats = pool->stats();
+  storage::PagerStats stats_a = (*a)->storage_stats();
+  storage::PagerStats stats_b = (*b)->storage_stats();
+  EXPECT_EQ(stats_a.pool_hits, pool_stats.hits);
+  EXPECT_EQ(stats_b.pool_hits, pool_stats.hits);
+  EXPECT_EQ(stats_a.pool_misses, pool_stats.misses);
+  EXPECT_GT(pool_stats.hits + pool_stats.misses, 0u);
+  // The budget is soft only while readers pin frames; none are live
+  // now, so at most one unpinned straggler per shard can remain from
+  // an eviction scan that gave up early.
+  EXPECT_LE(pool_stats.bytes,
+            budget + storage::BufferPool::kShards * storage::kPageSize);
+
+  // Closing one database releases its share of the pool; the other
+  // keeps working and the pool keeps serving it. Warm one query first
+  // so `a` definitely has resident frames to release.
+  ASSERT_TRUE((*a)->TextualSearch("page").ok());
+  const uint64_t frames_before = pool->stats().frames;
+  ASSERT_TRUE((*a)->Close().ok());
+  EXPECT_LT(pool->stats().frames, frames_before);
+  EXPECT_TRUE((*b)->TextualSearch("page").ok());
+  ASSERT_TRUE((*b)->Close().ok());
+}
+
+TEST_F(ProvenanceDbTest, CloseRefusesWhileASnapshotViewIsLive) {
+  IngestRosebudSession();
+  {
+    auto view = db_->BeginSnapshot();
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(db_->Close().code(), util::StatusCode::kFailedPrecondition);
+    // The refused Close must not have torn anything down.
+    EXPECT_TRUE(view->Search("rosebud").ok());
+  }
+  EXPECT_TRUE(db_->Close().ok());
 }
 
 }  // namespace
