@@ -81,7 +81,11 @@ Result<std::unique_ptr<ProvenanceService>> ProvenanceService::Create(
   }
   ProvenanceService* raw = svc.get();
   svc->metrics_token_ = reg.AddCollector([raw](obs::CollectionSink& sink) {
-    // Runs at dump time only; Stats() takes each lock briefly.
+    // Runs at dump time under the registry's collector lock. Stats()
+    // takes mu_ and each worker's mu briefly — safe only because the
+    // service never acquires the collector lock (via ProvenanceDb
+    // Open/Close) while holding either; see the lock-order note in
+    // the header.
     ServiceStats stats = raw->Stats();
     const std::string labels = "service=\"" + raw->root_ + "\"";
     sink.Gauge("bp_service_live_handles", labels,
@@ -152,12 +156,16 @@ ProvenanceService::~ProvenanceService() {
   // Close every live handle cleanly (checkpoint + shared-pool frame
   // release). Close errors are swallowed here exactly as a destructor
   // chain would swallow them; call Drain() first to observe failures.
-  util::MutexLock lock(mu_);
-  for (auto& [profile, entry] : entries_) {
-    if (entry->db == nullptr) continue;
-    (void)entry->db->Close();
-    entry->db.reset();
+  // Handles are moved out under mu_ and closed unlocked, keeping the
+  // never-hold-mu_-across-Close discipline even in teardown.
+  std::vector<std::unique_ptr<prov::ProvenanceDb>> open;
+  {
+    util::MutexLock lock(mu_);
+    for (auto& [profile, entry] : entries_) {
+      if (entry->db != nullptr) open.push_back(std::move(entry->db));
+    }
   }
+  for (auto& db : open) (void)db->Close();
 }
 
 size_t ProvenanceService::ShardOf(const std::string& profile) const {
@@ -166,11 +174,29 @@ size_t ProvenanceService::ShardOf(const std::string& profile) const {
   return util::Fnv1a64(profile) % workers_.size();
 }
 
+bool ProvenanceService::ValidProfileId(const std::string& profile) {
+  if (profile.empty()) return false;
+  if (profile.find("..") != std::string::npos) return false;
+  for (char c : profile) {
+    if (c == '/' || c == '\\' || c == '"' ||
+        static_cast<unsigned char>(c) < 0x20) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+Status InvalidProfileId() {
+  return Status::InvalidArgument(
+      "profile id must be non-empty and free of path separators, '..', "
+      "quotes, and control characters");
+}
+}  // namespace
+
 Status ProvenanceService::Ingest(const std::string& profile,
                                  const capture::BrowserEvent& event) {
-  if (profile.empty()) {
-    return Status::InvalidArgument("profile id must be non-empty");
-  }
+  if (!ValidProfileId(profile)) return InvalidProfileId();
   obs::ScopedTimerUs timer(ingest_us_);
   Worker& w = *workers_[ShardOf(profile)];
   util::MutexLock lock(w.mu);
@@ -196,9 +222,7 @@ Status ProvenanceService::Ingest(const std::string& profile,
 }
 
 Status ProvenanceService::Flush(const std::string& profile) {
-  if (profile.empty()) {
-    return Status::InvalidArgument("profile id must be non-empty");
-  }
+  if (!ValidProfileId(profile)) return InvalidProfileId();
   Worker& w = *workers_[ShardOf(profile)];
   util::MutexLock lock(w.mu);
   // Worker-level barrier: everything enqueued on this shard before the
@@ -210,7 +234,13 @@ Status ProvenanceService::Flush(const std::string& profile) {
   while (w.committed < target && !w.stop) {
     w.ack_cv.wait(lock.native());
   }
-  return w.status;
+  if (!w.status.ok()) return w.status;
+  if (w.committed < target) {
+    // Shutdown cut the wait short: these events were never handed to
+    // storage, so an Ok here would be a false durability claim.
+    return Status::Aborted("ProvenanceService is shutting down");
+  }
+  return Status::Ok();
 }
 
 Status ProvenanceService::Drain() {
@@ -222,7 +252,11 @@ Status ProvenanceService::Drain() {
     while (w.committed < target && !w.stop) {
       w.ack_cv.wait(lock.native());
     }
-    if (!w.status.ok() && first.ok()) first = w.status;
+    Status result = !w.status.ok() ? w.status
+                    : w.committed < target
+                        ? Status::Aborted("ProvenanceService is shutting down")
+                        : Status::Ok();
+    if (!result.ok() && first.ok()) first = result;
   }
   return first;
 }
@@ -346,19 +380,40 @@ Result<ProvenanceService::Entry*> ProvenanceService::AcquireHandle(
   } else {
     entry = it->second.get();
   }
-  if (entry->db != nullptr) {
-    ++handle_hits_;
-    ++entry->pins;
-    Unlink(entry);
-    LinkFront(lru_, entry);
-    return entry;
+  for (;;) {
+    // Busy is checked BEFORE db: a mid-close victim still has a
+    // non-null db but is already off the LRU list — pinning it would
+    // resurrect a dying handle (and Unlink would walk null links).
+    // Wait out the open (we'll hit when it lands) or close (we'll
+    // reopen once it is done) in flight on another thread.
+    if (entry->busy) {
+      handle_cv_.wait(lock.native());
+      continue;
+    }
+    if (entry->db != nullptr) {
+      ++handle_hits_;
+      ++entry->pins;
+      Unlink(entry);
+      LinkFront(lru_, entry);
+      return entry;
+    }
+    break;
   }
   ++handle_misses_;
-  // Open on demand, under the registry lock: opens and closes
-  // serialize, which is the simplicity/throughput trade this cache
-  // makes (commits themselves run unlocked; only handle churn queues).
+  entry->busy = true;
+  // Open with mu_ RELEASED: Open registers metrics collectors (the
+  // registry's collector lock, under which dumps call back into
+  // Stats() → mu_) and replays the profile's WAL from disk — holding
+  // mu_ here would both deadlock against a concurrent dump and
+  // serialize every other profile's handle traffic behind the I/O.
+  // The busy flag keeps this entry ours while the lock is down; the
+  // map never erases entries, so the pointer stays valid.
+  lock.Unlock();
   Result<std::unique_ptr<prov::ProvenanceDb>> db =
       prov::ProvenanceDb::Open(PathFor(profile), options_.db);
+  lock.Lock();
+  entry->busy = false;
+  handle_cv_.notify_all();
   if (!db.ok()) return db.status();
   entry->db = std::move(*db);
   ++opens_;
@@ -367,30 +422,29 @@ Result<ProvenanceService::Entry*> ProvenanceService::AcquireHandle(
   ++entry->pins;
   ++live_handles_;
   LinkFront(lru_, entry);
-  Status evicted = EvictLocked();
-  if (!evicted.ok()) {
-    // The victim's failure, not this handle's — but surfacing it beats
-    // losing it. The new handle stays open; drop our pin and fail.
-    --entry->pins;
-    return evicted;
-  }
+  // Our pin spares the new handle; victims' close failures go to their
+  // own shards (RecordShardError), never to this acquisition — an
+  // unrelated profile's trouble must not fail this profile's commit.
+  std::vector<Entry*> victims = PickVictimsLocked();
+  lock.Unlock();
+  CloseVictims(victims);
   return entry;
 }
 
 void ProvenanceService::ReleaseHandle(Entry* entry) {
-  util::MutexLock lock(mu_);
-  --entry->pins;
-  if (live_handles_ > options_.max_live_handles) {
+  std::vector<Entry*> victims;
+  {
+    util::MutexLock lock(mu_);
+    --entry->pins;
     // The cache may be over its (soft) cap because everything was
-    // pinned; shrink back as pins drop. A Close failure here has
-    // nowhere to surface (release is void, mirroring unpin-in-dtor
-    // paths); the victim's data is committed up to the failure and the
-    // next reopen re-arms the checkpoint.
-    (void)EvictLocked();
+    // pinned; shrink back as pins drop.
+    victims = PickVictimsLocked();
   }
+  CloseVictims(victims);
 }
 
-Status ProvenanceService::EvictLocked() {
+std::vector<ProvenanceService::Entry*> ProvenanceService::PickVictimsLocked() {
+  std::vector<Entry*> victims;
   while (live_handles_ > options_.max_live_handles) {
     Entry* victim = lru_.prev;
     while (victim != &lru_ && victim->pins > 0) victim = victim->prev;
@@ -398,14 +452,37 @@ Status ProvenanceService::EvictLocked() {
     Unlink(victim);
     --live_handles_;
     ++evictions_;
-    // Clean close: drain (trivial — async is off), checkpoint, release
-    // shared-pool frames. The entry itself stays in the map so a later
-    // acquisition reopens (and is counted as a reopen).
-    Status status = victim->db->Close();
-    victim->db.reset();
-    if (!status.ok()) return status;
+    // Claim the entry for the unlocked Close; acquirers of this profile
+    // now wait on handle_cv_ until CloseVictims clears the flag.
+    victim->busy = true;
+    victims.push_back(victim);
   }
-  return Status::Ok();
+  return victims;
+}
+
+void ProvenanceService::CloseVictims(const std::vector<Entry*>& victims) {
+  for (Entry* victim : victims) {
+    // Clean close: drain (trivial — async is off), checkpoint, release
+    // shared-pool frames, remove the db's metrics collectors. Run with
+    // no service lock held — RemoveCollector blocks on in-flight dumps,
+    // and dumps call this service's collector. The entry stays in the
+    // map so a later acquisition reopens (and is counted as a reopen).
+    Status status = victim->db->Close();
+    if (!status.ok()) RecordShardError(victim->profile, status);
+    util::MutexLock lock(mu_);
+    victim->db.reset();
+    victim->busy = false;
+    handle_cv_.notify_all();
+  }
+}
+
+void ProvenanceService::RecordShardError(const std::string& profile,
+                                         const Status& status) {
+  Worker& w = *workers_[ShardOf(profile)];
+  util::MutexLock lock(w.mu);
+  if (w.status.ok()) w.status = status;
+  // Wake kBlock waiters (their wait loop exits on a sticky error).
+  w.space_cv.notify_all();
 }
 
 }  // namespace bp::service

@@ -58,7 +58,13 @@
 //
 // Lock order: a worker's mu and the registry mu_ are never held
 // together (pop queue → release → acquire handle → release → commit
-// unlocked), so the two layers cannot deadlock.
+// unlocked), so the two layers cannot deadlock. The registry mu_ is
+// also never held across ProvenanceDb::Open or Close — both take the
+// metrics registry's collector lock (under which dumps call this
+// service's collector, which takes mu_) and both do disk I/O. An
+// entry whose database is mid-open or mid-close is marked busy and
+// later acquirers wait on a CV instead; eviction picks its victims
+// under mu_ but closes them unlocked.
 //
 //   service::ServiceOptions options;
 //   options.workers = 4;
@@ -154,16 +160,19 @@ class ProvenanceService {
 
   // Routes `event` to `profile`'s shard worker and returns once it is
   // queued (not committed — Flush is the barrier). InvalidArgument on
-  // an empty profile id; BudgetExhausted when the shard's queue is
-  // full under kReject; the shard's sticky error after a commit or
-  // open failure. Any thread may call this concurrently.
+  // an invalid profile id (see ValidProfileId); BudgetExhausted when
+  // the shard's queue is full under kReject; the shard's sticky error
+  // after a commit or open failure. Any thread may call this
+  // concurrently.
   util::Status Ingest(const std::string& profile,
                       const capture::BrowserEvent& event);
 
   // Blocks until everything enqueued for `profile`'s SHARD before this
   // call has been handed to storage (the barrier is per worker, which
   // is what makes it a read-your-writes barrier for the profile).
-  // Returns the shard's sticky error, if any.
+  // Returns the shard's sticky error, if any; Aborted when shutdown
+  // cut the wait short with events still queued (they never reached
+  // storage).
   util::Status Flush(const std::string& profile);
   // Flush over every shard.
   util::Status Drain();
@@ -200,6 +209,11 @@ class ProvenanceService {
     std::string profile;
     std::unique_ptr<prov::ProvenanceDb> db;  // null = not open
     size_t pins = 0;
+    // An Open or Close for this entry is in flight on some thread with
+    // mu_ RELEASED (both calls take the metrics registry's collector
+    // lock and do disk I/O, so they must not run under mu_). While set,
+    // only that thread may touch `db`; acquirers wait on handle_cv_.
+    bool busy = false;
     bool ever_opened = false;  // distinguishes opens from reopens
     Entry* prev = nullptr;     // intrusive LRU; head = MRU
     Entry* next = nullptr;
@@ -242,16 +256,34 @@ class ProvenanceService {
 
   // Pins (opening on demand) `profile`'s handle. The returned entry
   // stays valid until ReleaseHandle; its db is non-null. May evict the
-  // coldest unpinned handle(s) to respect max_live_handles.
+  // coldest unpinned handle(s) to respect max_live_handles; eviction
+  // failures are the VICTIM's, never the acquirer's — they go to the
+  // victim's shard as its sticky status, and the acquisition succeeds.
   util::Result<Entry*> AcquireHandle(const std::string& profile)
       BP_EXCLUDES(mu_);
   void ReleaseHandle(Entry* entry) BP_EXCLUDES(mu_);
-  // Closes coldest unpinned handles until live_handles_ is within the
-  // cap (or only pinned handles remain — the cap is soft). The first
-  // Close error aborts the scan and is returned; the victim is dropped
-  // regardless (its data is committed up to the failure, and keeping a
-  // half-closed handle live would be worse).
-  util::Status EvictLocked() BP_REQUIRES(mu_);
+  // Unlinks coldest unpinned handles until live_handles_ is within the
+  // cap (or only pinned/busy handles remain — the cap is soft), marks
+  // them busy, and returns them for CloseVictims. Selection counts
+  // against live_handles_ immediately so concurrent acquirers see the
+  // cache as already shrunk.
+  std::vector<Entry*> PickVictimsLocked() BP_REQUIRES(mu_);
+  // Closes picked victims with NO service lock held (Close removes
+  // metrics collectors — see the lock-order note above). A Close
+  // error becomes the victim profile's shard sticky status; the
+  // victim's data is committed up to the failure and the next reopen
+  // re-arms the checkpoint.
+  void CloseVictims(const std::vector<Entry*>& victims) BP_EXCLUDES(mu_);
+  // Records `status` as the sticky error of `profile`'s shard (first
+  // failure wins). Caller must not hold that worker's mu.
+  void RecordShardError(const std::string& profile,
+                        const util::Status& status) BP_EXCLUDES(mu_);
+
+  // Profile ids become filenames (<root>/<id>.db) and metric label
+  // values: reject empty ids, path separators, '..', double quotes,
+  // and control characters so an id can neither escape the service
+  // root nor corrupt a label string.
+  static bool ValidProfileId(const std::string& profile);
 
   std::string PathFor(const std::string& profile) const {
     return root_ + "/" + profile + ".db";
@@ -263,6 +295,7 @@ class ProvenanceService {
 
   // ---- handle registry -----------------------------------------------
   util::Mutex mu_;
+  std::condition_variable handle_cv_;  // an entry's busy flag cleared
   std::unordered_map<std::string, std::unique_ptr<Entry>> entries_
       BP_GUARDED_BY(mu_);
   Entry lru_ BP_GUARDED_BY(mu_);  // sentinel: next = MRU, prev = coldest

@@ -115,16 +115,18 @@ class PosixEnv : public Env {
 
 // Env-wide state every open MemFile can reach. shared_ptr so handles
 // outliving the env (legal for content, see MemEnv::files_) stay safe.
-// Mutating operations (and so the op log) are single-writer-thread by
-// contract; sync_count is atomic because tests read it concurrently.
+// The op log is single-writer-thread by contract (crash-injection
+// tests drive one writer); everything else here is safe to touch from
+// any thread.
 struct MemEnv::Shared {
   bool logging = false;
   std::vector<MemEnvOp> ops;
-  uint32_t sync_cost_us = 0;
-  bool sync_sleeps = false;
+  // The cost knobs and sync_count are atomic: tests and benches flip
+  // them (and read the counter) mid-run while worker threads are
+  // inside Sync/Read.
+  std::atomic<uint32_t> sync_cost_us{0};
+  std::atomic<bool> sync_sleeps{false};
   std::atomic<uint64_t> sync_count{0};
-  // Atomic (unlike sync_cost_us): benches flip it mid-run while reader
-  // threads are inside Read.
   std::atomic<uint32_t> read_cost_us{0};
 };
 
@@ -184,19 +186,20 @@ class MemFile : public File {
 
   Status Sync() override {
     shared_->sync_count.fetch_add(1, std::memory_order_relaxed);
-    if (shared_->sync_cost_us > 0) {
-      if (shared_->sync_sleeps) {
+    const uint32_t cost =
+        shared_->sync_cost_us.load(std::memory_order_relaxed);
+    if (cost > 0) {
+      if (shared_->sync_sleeps.load(std::memory_order_relaxed)) {
         // Yield the core for the duration, like a thread blocked in a
         // real fsync — lets independent committers overlap their syncs
         // even on a single-core machine.
-        std::this_thread::sleep_for(
-            std::chrono::microseconds(shared_->sync_cost_us));
+        std::this_thread::sleep_for(std::chrono::microseconds(cost));
       } else {
         // Busy-wait (steady clock) so MemEnv benchmarks charge
         // wall-clock time per fsync the way a real device would,
         // deterministically and without involving the scheduler.
         auto until = std::chrono::steady_clock::now() +
-                     std::chrono::microseconds(shared_->sync_cost_us);
+                     std::chrono::microseconds(cost);
         while (std::chrono::steady_clock::now() < until) {
         }
       }
@@ -235,6 +238,7 @@ Env* Env::Posix() {
 MemEnv::MemEnv() : shared_(std::make_shared<Shared>()) {}
 
 Result<std::unique_ptr<File>> MemEnv::Open(const std::string& name) {
+  util::MutexLock lock(files_mu_);
   auto it = files_.find(name);
   if (it == files_.end()) {
     it = files_.emplace(name, std::make_shared<FileContent>()).first;
@@ -243,6 +247,7 @@ Result<std::unique_ptr<File>> MemEnv::Open(const std::string& name) {
 }
 
 Status MemEnv::Remove(const std::string& name) {
+  util::MutexLock lock(files_mu_);
   if (shared_->logging && files_.count(name) > 0) {
     shared_->ops.push_back(
         MemEnvOp{MemEnvOp::Kind::kRemove, name, 0, {}, 0});
@@ -252,19 +257,22 @@ Status MemEnv::Remove(const std::string& name) {
 }
 
 bool MemEnv::Exists(const std::string& name) const {
+  util::MutexLock lock(files_mu_);
   return files_.count(name) > 0;
 }
 
 std::map<std::string, std::string> MemEnv::SnapshotAll() const {
+  util::MutexLock lock(files_mu_);
   std::map<std::string, std::string> out;
   for (const auto& [name, content] : files_) {
-    util::ReaderMutexLock lock(content->mu);
+    util::ReaderMutexLock lock2(content->mu);
     out[name] = content->data;
   }
   return out;
 }
 
 void MemEnv::RestoreAll(const std::map<std::string, std::string>& snapshot) {
+  util::MutexLock lock(files_mu_);
   files_.clear();
   for (const auto& [name, content] : snapshot) {
     auto file = std::make_shared<FileContent>();
@@ -318,9 +326,13 @@ Status MemEnv::ApplyOps(const std::vector<MemEnvOp>& ops, size_t count,
   return Status::Ok();
 }
 
-void MemEnv::set_sync_cost_us(uint32_t us) { shared_->sync_cost_us = us; }
+void MemEnv::set_sync_cost_us(uint32_t us) {
+  shared_->sync_cost_us.store(us, std::memory_order_relaxed);
+}
 
-void MemEnv::set_sync_sleeps(bool sleeps) { shared_->sync_sleeps = sleeps; }
+void MemEnv::set_sync_sleeps(bool sleeps) {
+  shared_->sync_sleeps.store(sleeps, std::memory_order_relaxed);
+}
 
 void MemEnv::set_read_cost_us(uint32_t us) {
   shared_->read_cost_us.store(us, std::memory_order_relaxed);

@@ -12,7 +12,9 @@
 #include <string_view>
 #include <vector>
 
+#include "util/mutex.hpp"
 #include "util/status.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bp::storage {
 
@@ -128,9 +130,15 @@ class MemEnv : public Env {
   struct FileContent;
 
  private:
+  // Guards the name table itself (file CONTENT has per-file locks in
+  // FileContent). Open/Exists/Remove must be callable concurrently —
+  // the service layer opens profile databases from several worker
+  // threads at once, exactly as they would race on a real filesystem.
+  mutable util::Mutex files_mu_;
   // shared_ptr: open handles keep content alive across Remove (POSIX
   // unlink semantics).
-  std::map<std::string, std::shared_ptr<FileContent>> files_;
+  std::map<std::string, std::shared_ptr<FileContent>> files_
+      BP_GUARDED_BY(files_mu_);
   std::shared_ptr<Shared> shared_;
 };
 

@@ -884,7 +884,24 @@ void Pager::PublishToPool(const PageImageKey& key, std::string&& image) {
 }
 
 PagerStats Pager::stats() const {
-  PagerStats out = stats_;
+  // Relaxed: each counter is monotone and written by the one writer
+  // thread; a dump racing a commit just sees a slightly stale value.
+  const auto get = [](const std::atomic<uint64_t>& v) {
+    return v.load(std::memory_order_relaxed);
+  };
+  PagerStats out;
+  out.commits = get(stats_.commits);
+  out.rollbacks = get(stats_.rollbacks);
+  out.pages_written = get(stats_.pages_written);
+  out.pages_read = get(stats_.pages_read);
+  out.cache_hits = get(stats_.cache_hits);
+  out.cache_misses = get(stats_.cache_misses);
+  out.evictions = get(stats_.evictions);
+  out.fsyncs = get(stats_.fsyncs);
+  out.bytes_synced = get(stats_.bytes_synced);
+  out.wal_frames = get(stats_.wal_frames);
+  out.checkpoints = get(stats_.checkpoints);
+  out.group_commits = get(stats_.group_commits);
   if (pool_ != nullptr) {
     BufferPoolStats pool = pool_->stats();
     out.pool_hits = pool.hits;

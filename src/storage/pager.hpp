@@ -53,6 +53,7 @@
 // closes.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -446,7 +447,28 @@ class Pager {
   SnapshotStats retired_snapshot_stats_ BP_GUARDED_BY(commit_mu_);
 
   bool crash_after_journal_ = false;
-  PagerStats stats_;
+  // Writer-side counters, mutated only by the single writer thread but
+  // copied by stats() from arbitrary threads (the metrics collector
+  // dumps while a commit is mid-flight). Atomics make those copies
+  // tear-free; the writer's ++/+= updates need no cross-field ordering, so
+  // stats() reads relaxed. Fields mirror the first section of
+  // PagerStats (pool_*/snapshot_* are filled in from their own sources
+  // at read time).
+  struct AtomicPagerStats {
+    std::atomic<uint64_t> commits{0};
+    std::atomic<uint64_t> rollbacks{0};
+    std::atomic<uint64_t> pages_written{0};
+    std::atomic<uint64_t> pages_read{0};
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> cache_misses{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> fsyncs{0};
+    std::atomic<uint64_t> bytes_synced{0};
+    std::atomic<uint64_t> wal_frames{0};
+    std::atomic<uint64_t> checkpoints{0};
+    std::atomic<uint64_t> group_commits{0};
+  };
+  AtomicPagerStats stats_;
 
   // --- observability (src/obs) ---------------------------------------
   // Process-wide histograms shared by every pager (latency is a

@@ -585,7 +585,12 @@ TEST_F(ProvenanceDbTest, TwoDbsShareOneInjectedPoolBudget) {
       ProvenanceDb& db = (t % 2 == 0) ? **a : **b;
       const std::string host = (t % 2 == 0) ? "a.example" : "b.example";
       for (int i = 0; i < 40; ++i) {
-        if (!db.store()
+        // Concurrent point reads go through a snapshot: the live
+        // store() read path belongs to ONE thread by the pager's
+        // single-writer contract.
+        auto view = db.BeginSnapshot();
+        if (!view.ok() ||
+            !view->store()
                  .PageForUrl("http://" + host + "/p" + std::to_string(i % 120))
                  .ok()) {
           failures.fetch_add(1);

@@ -84,12 +84,33 @@ TEST_F(ServiceTest, CreateRejectsInvalidOptions) {
             util::StatusCode::kInvalidArgument);
 }
 
-TEST_F(ServiceTest, IngestRejectsEmptyProfileId) {
+TEST_F(ServiceTest, RejectsInvalidProfileIds) {
   auto svc = ProvenanceService::Create("/p", BaseOptions());
   ASSERT_TRUE(svc.ok());
-  EXPECT_EQ((*svc)->Ingest("", MakeVisit("x", 0)).code(),
-            util::StatusCode::kInvalidArgument);
-  EXPECT_EQ((*svc)->Flush("").code(), util::StatusCode::kInvalidArgument);
+  // Ids become <root>/<id>.db and metric label values: anything that
+  // could escape the service root ('/', '\\', '..') or corrupt a label
+  // ('"', control characters) is refused at the door, by every
+  // profile-taking entry point.
+  const std::string bad[] = {"",    "../evil", "a/b",
+                             "a\\b", "a\"b",   std::string("a\nb")};
+  for (const std::string& profile : bad) {
+    EXPECT_EQ((*svc)->Ingest(profile, MakeVisit("x", 0)).code(),
+              util::StatusCode::kInvalidArgument)
+        << profile;
+    EXPECT_EQ((*svc)->Flush(profile).code(),
+              util::StatusCode::kInvalidArgument)
+        << profile;
+    EXPECT_EQ((*svc)
+                  ->WithSnapshot(profile,
+                                 [](prov::ProvenanceDb::SnapshotView&) {
+                                   return util::Status::Ok();
+                                 })
+                  .code(),
+              util::StatusCode::kInvalidArgument)
+        << profile;
+  }
+  // Nothing slipped past validation into a queue.
+  EXPECT_EQ((*svc)->Stats().enqueued, 0u);
 }
 
 TEST_F(ServiceTest, RoutesProfilesToStableShardsAndIsolatesThem) {
@@ -376,6 +397,43 @@ TEST_F(ServiceTest, ConcurrentIngestAndSnapshotsUnderEvictionPressure) {
   ServiceStats stats = (*svc)->Stats();
   EXPECT_EQ(stats.enqueued, static_cast<uint64_t>(kThreads * kPerThread));
   EXPECT_EQ(stats.committed, stats.enqueued);
+}
+
+// Regression: metrics dumps (registry collector lock → service
+// collector → Stats() → registry mu_) used to deadlock against handle
+// churn, which held mu_ across ProvenanceDb::Open/Close (both take the
+// collector lock). Churn a cap-1 cache while a thread dumps in a loop;
+// the test finishing at all is the assertion.
+TEST_F(ServiceTest, MetricsDumpsConcurrentWithHandleChurn) {
+  ServiceOptions options = BaseOptions();
+  options.workers = 2;
+  options.max_live_handles = 1;  // every profile switch opens + evicts
+  auto svc = ProvenanceService::Create("/churn", options);
+  ASSERT_TRUE(svc.ok());
+
+  std::atomic<bool> stop{false};
+  std::thread dumper([&] {
+    while (!stop.load()) {
+      (void)obs::MetricsRegistry::Global().DumpJson();
+    }
+  });
+  const int kProfiles = 4;
+  const int kEvents = 60;
+  for (int i = 0; i < kEvents; ++i) {
+    std::string profile = "prof" + std::to_string(i % kProfiles);
+    ASSERT_TRUE((*svc)->Ingest(profile, MakeVisit(profile, i)).ok());
+    // Periodic barriers keep the workers opening and evicting (rather
+    // than folding a whole round into one batch on a warm handle).
+    if (i % kProfiles == kProfiles - 1) ASSERT_TRUE((*svc)->Drain().ok());
+  }
+  ASSERT_TRUE((*svc)->Drain().ok());
+  stop.store(true);
+  dumper.join();
+
+  ServiceStats stats = (*svc)->Stats();
+  EXPECT_EQ(stats.committed, static_cast<uint64_t>(kEvents));
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.live_handles, 1u);
 }
 
 TEST_F(ServiceTest, ExportsServiceMetrics) {
