@@ -5,6 +5,7 @@
 
 #include "obs/metrics.hpp"
 #include "util/hash.hpp"
+#include "util/strings.hpp"
 
 namespace bp::service {
 
@@ -48,6 +49,17 @@ Result<std::unique_ptr<ProvenanceService>> ProvenanceService::Create(
     return Status::InvalidArgument(
         "ServiceOptions::db.ingest_batch must be >= 1");
   }
+  if (options.db.db.buffer_pool != nullptr &&
+      options.db.db.pool_bytes != 0 &&
+      options.db.db.pool_bytes !=
+          options.db.db.buffer_pool->byte_budget()) {
+    return Status::InvalidArgument(util::StrFormat(
+        "ServiceOptions::db.db.pool_bytes (%zu) disagrees with the "
+        "injected buffer pool's byte budget (%zu); set pool_bytes to 0 "
+        "(or to the pool's budget) when sharing a pool",
+        options.db.db.pool_bytes,
+        options.db.db.buffer_pool->byte_budget()));
+  }
 
   auto svc = std::unique_ptr<ProvenanceService>(new ProvenanceService());
   svc->root_ = root;
@@ -64,6 +76,10 @@ Result<std::unique_ptr<ProvenanceService>> ProvenanceService::Create(
         std::make_shared<storage::BufferPool>(svc->options_.db.db.pool_bytes);
   }
   svc->options_.db.db.buffer_pool = svc->pool_;
+  // Normalize so the per-profile opens on worker threads see an
+  // agreeing (pool, pool_bytes) pair whatever the template said.
+  svc->options_.db.db.pool_bytes =
+      svc->pool_ != nullptr ? svc->pool_->byte_budget() : 0;
 
   {
     util::MutexLock lock(svc->mu_);

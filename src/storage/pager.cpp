@@ -19,6 +19,12 @@ using util::Result;
 using util::Status;
 using util::Writer;
 
+// The multi-domain paths below are unrolled per domain (not looped) so
+// the thread-safety analysis can match each MutexLock against the
+// BP_REQUIRES expression of the helper it guards.
+static_assert(kMaxWriteDomains == 2,
+              "unrolled domain lock sites assume exactly 2 domains");
+
 // ---------------------------------------------------------------- PageRef
 
 PageRef::PageRef(Pager* pager, internal::Frame* frame, bool writable)
@@ -73,9 +79,10 @@ Result<std::unique_ptr<Pager>> Pager::Open(std::string path,
   // Recovery runs regardless of the requested durability mode, so a
   // database left behind by a crash in EITHER mode opens correctly: a
   // hot journal from a crashed journal-mode commit is rolled back, then
-  // the committed prefix of any surviving write-ahead log is replayed.
-  // (The two files never coexist in practice — each mode retires its own
-  // log — but recovering both is cheap and makes mode switches safe.)
+  // the mutually consistent committed prefix of any surviving write-
+  // ahead log streams is replayed. (The two files never coexist in
+  // practice — each mode retires its own log — but recovering both is
+  // cheap and makes mode switches safe.)
   BP_RETURN_IF_ERROR(pager->RecoverFromJournal());
   BP_RETURN_IF_ERROR(pager->RecoverFromWal());
 
@@ -90,11 +97,30 @@ Result<std::unique_ptr<Pager>> Pager::Open(std::string path,
     }
     BP_RETURN_IF_ERROR(pager->LoadHeader());
   }
+  // The WAL fold may have replayed transactions that never dirtied the
+  // header page, leaving the on-disk commit_seq behind the commits the
+  // database file now contains. Advance it so the streams created below
+  // carry the true base and freshly stamped commits never collide with
+  // replayed ones. (Durability of this patch is optional: if it is
+  // lost, the folded data is still ahead of the restarted counter and
+  // base_seq anchors recovery — sequence numbers are labels, the page
+  // images are the truth.)
+  if (pager->recovered_commit_seq_ > pager->commit_seq_) {
+    pager->commit_seq_ = pager->recovered_commit_seq_;
+    BP_RETURN_IF_ERROR(pager->file_->Write(0, pager->SerializedHeader()));
+  }
   pager->main_file_pages_ = pager->page_count_;
 
   if (pager->options_.durability == DurabilityMode::kWal) {
-    BP_ASSIGN_OR_RETURN(pager->wal_,
-                        wal::WalWriter::Open(options.env, pager->WalPath()));
+    pager->write_domains_ = std::clamp<uint32_t>(
+        pager->options_.write_domains, 1, kMaxWriteDomains);
+    for (uint32_t d = 0; d < pager->write_domains_; ++d) {
+      BP_ASSIGN_OR_RETURN(
+          pager->domains_[d].wal,
+          wal::WalWriter::Open(options.env, pager->WalPath(d), d,
+                               pager->commit_seq_));
+      pager->domains_[d].last_commit_seq = pager->commit_seq_;
+    }
     // The shared versioned buffer pool serves the whole read path in
     // WAL mode. Journal mode gets none: it rewrites main-file pages in
     // place at every commit, which would stale main-file image keys
@@ -145,14 +171,18 @@ Pager::~Pager() {
   BP_CHECK(live_snapshots() == 0,
            "all snapshots must be released before the pager closes");
   if (in_txn_) (void)Rollback();
-  if (wal_ != nullptr) {
-    // Clean close: make every commit durable, fold the log into the
-    // database file, and retire it. The log is only removed when the
-    // fold fully succeeded; on failure it stays behind as the sole
-    // copy of the committed pages, and the next Open replays it.
-    bool folded = Checkpoint().ok();  // Checkpoint syncs the log first
-    wal_.reset();
-    if (folded) (void)options_.env->Remove(WalPath());
+  if (wal_mode()) {
+    // Clean close: make every commit durable, fold ALL streams into the
+    // database file, and retire them. The streams are only removed when
+    // the fold fully succeeded; on failure they stay behind as the sole
+    // copy of the committed pages, and the next Open replays them.
+    bool folded = Checkpoint().ok();  // Checkpoint syncs the logs first
+    for (auto& dom : domains_) dom.wal.reset();
+    if (folded) {
+      for (uint32_t d = 0; d < kMaxWriteDomains; ++d) {
+        (void)options_.env->Remove(WalPath(d));
+      }
+    }
   }
   // Give the shared pool its bytes back: this owner id is never reused,
   // so frames published under it are unreachable from here on — without
@@ -173,8 +203,8 @@ Status Pager::InitializeNewDb() {
   BP_RETURN_IF_ERROR(file_->Write(0, page));
   if (options_.sync) {
     BP_RETURN_IF_ERROR(file_->Sync());
-    ++stats_.fsyncs;
-    stats_.bytes_synced += kPageSize;
+    ++stats_.sync.fsyncs;
+    stats_.sync.bytes_synced += kPageSize;
   }
   return Status::Ok();
 }
@@ -283,8 +313,8 @@ Status Pager::RecoverFromJournal() {
           file_->Truncate(uint64_t{orig_page_count} * kPageSize));
       if (options_.sync) {
         BP_RETURN_IF_ERROR(file_->Sync());
-        ++stats_.fsyncs;
-        stats_.bytes_synced += uint64_t{entry_count} * kPageSize;
+        ++stats_.sync.fsyncs;
+        stats_.sync.bytes_synced += uint64_t{entry_count} * kPageSize;
       }
     }
   }
@@ -295,64 +325,139 @@ Status Pager::RecoverFromJournal() {
 }
 
 Status Pager::RecoverFromWal() {
-  const std::string wpath = WalPath();
-  if (!options_.env->Exists(wpath)) return Status::Ok();
+  // Probe EVERY possible stream path, not just the configured
+  // write_domains: the database may reopen with fewer domains than the
+  // run that crashed, and a stream it does not know about may hold the
+  // tail of the merged commit order.
+  std::vector<std::string> paths;
+  bool any = false;
+  for (uint32_t d = 0; d < kMaxWriteDomains; ++d) {
+    paths.push_back(WalPath(d));
+    if (options_.env->Exists(paths.back())) any = true;
+  }
+  if (!any) return Status::Ok();
 
-  // Fold whatever committed prefix of the log survived. A torn tail —
-  // the transaction whose fsync never finished — is ignored by the
-  // reader; an empty or header-only log folds nothing.
-  BP_ASSIGN_OR_RETURN(wal::CheckpointResult folded,
-                      wal::Checkpointer::Fold(options_.env, file_.get(),
-                                              wpath, options_.sync));
+  // Fold the mutually consistent merged prefix that survived: per
+  // stream, torn tails — the transaction whose fsync never finished —
+  // are ignored by the reader; across streams, the merge stops at the
+  // first missing commit sequence (see Checkpointer::FoldStreams).
+  BP_ASSIGN_OR_RETURN(
+      wal::CheckpointResult folded,
+      wal::Checkpointer::FoldStreams(options_.env, file_.get(), paths,
+                                     options_.sync));
   if (folded.synced_db) {
-    ++stats_.fsyncs;
-    stats_.bytes_synced += folded.bytes_written;
+    ++stats_.sync.fsyncs;
+    stats_.sync.bytes_synced += folded.bytes_written;
   }
-  // Idempotent up to here: a crash before this Remove just refolds on
-  // the next Open.
-  return options_.env->Remove(wpath);
-}
-
-Status Pager::SyncWal() {
-  if (wal_ == nullptr) return Status::Ok();
-  // A window retiring >= 1 committed transaction is one group commit,
-  // whether it filled to the ceiling or was closed early (FlushPending,
-  // checkpoint, close). Counted even with sync=false so benches that
-  // model fsync cost elsewhere still see the grouping behavior.
-  if (wal_unsynced_commits_ > 0) {
-    ++stats_.group_commits;
-    if (group_commit_txns_ != nullptr) {
-      group_commit_txns_->Record(wal_unsynced_commits_);
+  recovered_commit_seq_ = folded.last_commit_seq;
+  // Idempotent up to here: a crash before (or between) these Removes
+  // just refolds on the next Open — the fold is already durable, so a
+  // re-read of the surviving streams merges to a prefix of what this
+  // fold wrote.
+  for (const auto& path : paths) {
+    if (options_.env->Exists(path)) {
+      BP_RETURN_IF_ERROR(options_.env->Remove(path));
     }
-  }
-  if (!options_.sync) {
-    wal_unsynced_commits_ = 0;
-    return Status::Ok();
-  }
-  // Reset the window only once the fsync SUCCEEDS: a failed sync leaves
-  // the counter full, so the very next commit retries instead of
-  // accumulating another whole window of unsynced transactions.
-  uint64_t made_durable;
-  {
-    obs::ScopedTimerUs timer(fsync_latency_us_);
-    BP_ASSIGN_OR_RETURN(made_durable, wal_->Sync());
-  }
-  wal_unsynced_commits_ = 0;
-  if (made_durable > 0) {
-    ++stats_.fsyncs;
-    stats_.bytes_synced += made_durable;
   }
   return Status::Ok();
 }
 
+Status Pager::SyncDomainLocked(WalDomain& dom) {
+  if (dom.wal == nullptr) return Status::Ok();
+  // Snapshot the pending count first: the acquire pairs with the
+  // committing thread's release fetch_add, so the stream bytes those
+  // commits appended are visible to the Sync below. Commits that land
+  // after this load stay pending for the next window.
+  const uint32_t pending =
+      dom.unsynced_commits.load(std::memory_order_acquire);
+  if (pending == 0) return Status::Ok();
+  // A window retiring >= 1 committed transaction is one group commit,
+  // whether it filled to the ceiling or was closed early (FlushPending,
+  // checkpoint, close). Counted even with sync=false so benches that
+  // model fsync cost elsewhere still see the grouping behavior.
+  ++stats_.sync.group_commits;
+  dom.stat_group_commits.fetch_add(1, std::memory_order_relaxed);
+  if (group_commit_txns_ != nullptr) group_commit_txns_->Record(pending);
+  if (!options_.sync) {
+    dom.unsynced_commits.fetch_sub(pending, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+  uint64_t made_durable;
+  {
+    obs::ScopedTimerUs timer(fsync_latency_us_);
+    // An fsync that starts while another stream's fsync is in flight is
+    // the overlap the domain split exists to create.
+    if (fsyncs_in_flight_.fetch_add(1, std::memory_order_relaxed) > 0) {
+      ++stats_.sync.fsync_overlaps;
+    }
+    util::Result<uint64_t> synced = dom.wal->Sync();
+    fsyncs_in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    BP_RETURN_IF_ERROR(synced.status());
+    made_durable = *synced;
+  }
+  // Retire the window only once the fsync SUCCEEDED: a failed sync
+  // leaves the counter full, so the very next commit retries instead of
+  // accumulating another whole window of unsynced transactions.
+  // Subtract (not store 0): commits may have landed since the load.
+  dom.unsynced_commits.fetch_sub(pending, std::memory_order_relaxed);
+  if (made_durable > 0) {
+    ++stats_.sync.fsyncs;
+    stats_.sync.bytes_synced += made_durable;
+    dom.stat_fsyncs.fetch_add(1, std::memory_order_relaxed);
+    dom.stat_bytes_synced.fetch_add(made_durable,
+                                    std::memory_order_relaxed);
+  }
+  return Status::Ok();
+}
+
+Status Pager::SyncWal() {
+  if (!wal_mode()) return Status::Ok();
+  // Ack barrier: ALL domains, ascending id (see the lock-order note in
+  // the header) — an acked commit needs every earlier merged sequence
+  // durable too, and those may live on any stream.
+  {
+    util::MutexLock lock(domains_[0].mu);
+    BP_RETURN_IF_ERROR(SyncDomainLocked(domains_[0]));
+  }
+  {
+    util::MutexLock lock(domains_[1].mu);
+    BP_RETURN_IF_ERROR(SyncDomainLocked(domains_[1]));
+  }
+  return Status::Ok();
+}
+
+Status Pager::SyncWalDomain(WriteDomain domain) {
+  BP_REQUIRE(domain < kMaxWriteDomains, "invalid write domain");
+  if (!wal_mode()) return Status::Ok();
+  if (domain == 0) {
+    util::MutexLock lock(domains_[0].mu);
+    return SyncDomainLocked(domains_[0]);
+  }
+  util::MutexLock lock(domains_[1].mu);
+  return SyncDomainLocked(domains_[1]);
+}
+
 Result<bool> Pager::FlushPending() {
-  if (wal_ == nullptr || wal_unsynced_commits_ == 0) return false;
+  if (!wal_mode() || unsynced_commits() == 0) return false;
   BP_RETURN_IF_ERROR(SyncWal());
   return true;
 }
 
+uint32_t Pager::unsynced_commits() const {
+  uint32_t total = 0;
+  for (const WalDomain& dom : domains_) {
+    total += dom.unsynced_commits.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint32_t Pager::unsynced_commits(WriteDomain domain) const {
+  BP_REQUIRE(domain < kMaxWriteDomains, "invalid write domain");
+  return domains_[domain].unsynced_commits.load(std::memory_order_relaxed);
+}
+
 Status Pager::Checkpoint() {
-  BP_REQUIRE(wal_ != nullptr, "Checkpoint requires WAL durability mode");
+  BP_REQUIRE(wal_mode(), "Checkpoint requires WAL durability mode");
   if (in_txn_) {
     return Status::FailedPrecondition(
         "Checkpoint during an open transaction");
@@ -370,38 +475,60 @@ Status Pager::Checkpoint() {
   // otherwise flood the histogram with near-zero samples.
   obs::ScopedTimerUs timer(checkpoint_latency_us_);
   obs::ScopedSpan span("pager.checkpoint");
-  // The log must be durable before its pages land in the database file
-  // (log ahead of data): otherwise a crash could leave the database with
-  // pages from a transaction the log cannot prove committed.
-  BP_RETURN_IF_ERROR(SyncWal());
-  BP_ASSIGN_OR_RETURN(wal::CheckpointResult folded,
-                      wal::Checkpointer::Fold(options_.env, file_.get(),
-                                              WalPath(), options_.sync));
+  // Both domain mutexes, ascending id, held across sync + fold + reset:
+  // no stream may be fsynced (by the maintenance lane) or appended
+  // while its file is being folded and truncated.
+  util::MutexLock lock0(domains_[0].mu);
+  util::MutexLock lock1(domains_[1].mu);
+  // The logs must be durable before their pages land in the database
+  // file (log ahead of data): otherwise a crash could leave the
+  // database with pages from a transaction no log can prove committed.
+  BP_RETURN_IF_ERROR(SyncDomainLocked(domains_[0]));
+  BP_RETURN_IF_ERROR(SyncDomainLocked(domains_[1]));
+  std::vector<std::string> paths;
+  for (uint32_t d = 0; d < write_domains_; ++d) paths.push_back(WalPath(d));
+  // sync=false: the header patch below joins the fold under ONE fsync.
+  BP_ASSIGN_OR_RETURN(
+      wal::CheckpointResult folded,
+      wal::Checkpointer::FoldStreams(options_.env, file_.get(), paths,
+                                     /*sync=*/false));
   if (folded.ran) {
-    if (folded.synced_db) {
-      ++stats_.fsyncs;
-      stats_.bytes_synced += folded.bytes_written;
+    // Transactions that never dirtied the header page leave the folded
+    // on-disk commit_seq stale; rewrite it from the authoritative
+    // in-memory value before the fsync.
+    BP_RETURN_IF_ERROR(file_->Write(0, SerializedHeader()));
+    if (options_.sync) {
+      BP_RETURN_IF_ERROR(file_->Sync());
+      ++stats_.sync.fsyncs;
+      stats_.sync.bytes_synced += folded.bytes_written;
     }
     main_file_pages_ = std::max(main_file_pages_, folded.page_count);
   }
-  BP_RETURN_IF_ERROR(wal_->ResetToHeader());
+  for (uint32_t d = 0; d < write_domains_; ++d) {
+    BP_RETURN_IF_ERROR(domains_[d].wal->ResetToHeader(commit_seq_));
+  }
   wal_index_.clear();
-  ++stats_.checkpoints;
+  stats_.checkpoints.Inc();
   if (folded.ran) {
-    // The fold rewrote main-file pages and freed the log's offsets for
-    // reuse: a new generation, so no stale pool key can ever resolve.
-    ++generation_;
+    // The fold rewrote main-file pages and freed every stream's offsets
+    // for reuse: new generations, so no stale pool key can ever resolve.
+    ++main_generation_;
+    for (uint32_t d = 0; d < write_domains_; ++d) ++domains_[d].generation;
   }
   PublishLocked(std::make_shared<std::unordered_map<PageId, uint64_t>>());
   return Status::Ok();
 }
 
 Status Pager::MaybeCheckpoint() {
-  if (wal_ == nullptr || in_txn_ || live_snapshots() > 0 ||
-      wal_->SizeBytes() < options_.wal_checkpoint_bytes) {
+  if (!wal_mode() || in_txn_ || live_snapshots() > 0) {
     // Deferred while snapshots are live; retried at the next commit.
     return Status::Ok();
   }
+  uint64_t total_bytes = 0;
+  for (uint32_t d = 0; d < write_domains_; ++d) {
+    total_bytes += domains_[d].wal->SizeBytes();
+  }
+  if (total_bytes < options_.wal_checkpoint_bytes) return Status::Ok();
   Status folded = Checkpoint();
   if (folded.code() == util::StatusCode::kFailedPrecondition) {
     // A reader opened a snapshot between the check above and the
@@ -417,7 +544,11 @@ void Pager::PublishLocked(
   published_.page_count = page_count_;
   published_.catalog_root = catalog_root_;
   published_.main_file_pages = main_file_pages_;
-  published_.generation = generation_;
+  published_.main_generation = main_generation_;
+  for (uint32_t d = 0; d < kMaxWriteDomains; ++d) {
+    published_.domain_commit_seq[d] = domains_[d].last_commit_seq;
+    published_.domain_generation[d] = domains_[d].generation;
+  }
   if (index != nullptr) published_.wal_index = std::move(index);
 }
 
@@ -439,14 +570,14 @@ void Pager::PublishCommitDelta(
         std::make_shared<std::unordered_map<PageId, uint64_t>>(wal_index_));
     return;
   }
-  for (const auto& [id, offset] : offsets) {
-    (*published_.wal_index)[id] = offset;
+  for (const auto& [id, slot] : offsets) {
+    (*published_.wal_index)[id] = slot;
   }
   PublishLocked(nullptr);
 }
 
 util::Result<std::unique_ptr<Snapshot>> Pager::BeginRead() {
-  if (wal_ == nullptr) {
+  if (!wal_mode()) {
     return Status::FailedPrecondition(
         "BeginRead requires WAL durability mode (journal mode rewrites "
         "the database file in place at every commit)");
@@ -455,10 +586,12 @@ util::Result<std::unique_ptr<Snapshot>> Pager::BeginRead() {
   std::unique_ptr<Snapshot> snap(new Snapshot());
   snap->pager_ = this;
   snap->commit_seq_ = published_.commit_seq;
+  snap->domain_commit_seq_ = published_.domain_commit_seq;
   snap->page_count_ = published_.page_count;
   snap->catalog_root_ = published_.catalog_root;
   snap->main_file_pages_ = published_.main_file_pages;
-  snap->generation_ = published_.generation;
+  snap->main_generation_ = published_.main_generation;
+  snap->domain_generation_ = published_.domain_generation;
   snap->wal_index_ = published_.wal_index;
   snap->pool_ = pool_;
   snap->pool_owner_ = pool_owner_;
@@ -481,9 +614,14 @@ void Pager::ReleaseSnapshot(const SnapshotStats& final_stats) {
   retired_snapshot_stats_.pool_hits += final_stats.pool_hits;
 }
 
-Status Pager::Begin() {
+Status Pager::Begin(WriteDomain domain) {
   BP_REQUIRE(!in_txn_, "nested transactions are not supported");
   in_txn_ = true;
+  // Clamp instead of reject: a caller built for 2 domains keeps working
+  // against a 1-domain (or journal-mode) pager, it just shares the
+  // stream.
+  txn_domain_ =
+      wal_mode() ? std::min(domain, write_domains_ - 1) : kGraphDomain;
   before_images_.clear();
   fresh_pages_.clear();
   txn_orig_page_count_ = page_count_;
@@ -502,7 +640,7 @@ Status Pager::Commit() {
   }
   if (dirty.empty()) {
     in_txn_ = false;
-    ++stats_.commits;
+    stats_.commits.Inc();
     return Status::Ok();
   }
   std::sort(dirty.begin(), dirty.end(),
@@ -521,12 +659,12 @@ Status Pager::Commit() {
   before_images_.clear();
   fresh_pages_.clear();
   in_txn_ = false;
-  ++stats_.commits;
+  stats_.commits.Inc();
   MaybeEvict();
 
   // Make the new commit visible to BeginRead: the log write above
   // happens-before the publication, so a snapshot that observes this
-  // commit_seq can read every frame offset its index names.
+  // commit_seq can read every frame slot its index names.
   if (options_.durability == DurabilityMode::kWal) {
     PublishCommitDelta(last_commit_offsets_);
   }
@@ -538,11 +676,18 @@ Status Pager::Commit() {
   // can be rolled back. Flushing inside CommitViaWal would let an
   // fsync error leave in_txn_ set and a later Rollback tear cached
   // pages away from the log's committed images.
+  //
+  // Only THIS transaction's stream is synced (its window filled); a
+  // full window on one domain never drags the other domain's device
+  // into the wait. This is not an ack — callers that promise
+  // durability go through SyncWal/FlushPending, which sync all
+  // domains so no earlier merged sequence can be lost under an acked
+  // one.
   if (options_.durability == DurabilityMode::kWal &&
-      wal_unsynced_commits_ >= options_.wal_group_commit) {
-    BP_RETURN_IF_ERROR(SyncWal());
+      unsynced_commits(txn_domain_) >= options_.wal_group_commit) {
+    BP_RETURN_IF_ERROR(SyncWalDomain(txn_domain_));
   }
-  // Fold the log into the main file if it crossed the size threshold.
+  // Fold the logs into the main file if they crossed the size threshold.
   return MaybeCheckpoint();
 }
 
@@ -566,8 +711,8 @@ Status Pager::CommitViaJournal(const std::vector<internal::Frame*>& dirty) {
     BP_RETURN_IF_ERROR(jf->Write(0, w.data()));
     if (options_.sync) {
       BP_RETURN_IF_ERROR(jf->Sync());
-      ++stats_.fsyncs;
-      stats_.bytes_synced += w.size();
+      ++stats_.sync.fsyncs;
+      stats_.sync.bytes_synced += w.size();
     }
   }
 
@@ -588,12 +733,12 @@ Status Pager::CommitViaJournal(const std::vector<internal::Frame*>& dirty) {
     }
     BP_RETURN_IF_ERROR(
         file_->Write(uint64_t{frame->id} * kPageSize, frame->data));
-    ++stats_.pages_written;
+    stats_.pages_written.Inc();
   }
   if (options_.sync) {
     BP_RETURN_IF_ERROR(file_->Sync());
-    ++stats_.fsyncs;
-    stats_.bytes_synced += dirty.size() * uint64_t{kPageSize};
+    ++stats_.sync.fsyncs;
+    stats_.sync.bytes_synced += dirty.size() * uint64_t{kPageSize};
   }
 
   // Phase 3: the commit is durable; retire the journal.
@@ -604,10 +749,11 @@ Status Pager::CommitViaJournal(const std::vector<internal::Frame*>& dirty) {
 }
 
 Status Pager::CommitViaWal(const std::vector<internal::Frame*>& dirty) {
+  WalDomain& dom = domains_[txn_domain_];
   ++commit_seq_;
   // One page-image frame per dirty page, then the commit frame, appended
-  // to the log in a single sequential write. The database file is not
-  // touched; that is the checkpointer's job.
+  // to the transaction's domain stream in a single sequential write.
+  // The database file is not touched; that is the checkpointer's job.
   std::vector<std::pair<PageId, uint64_t>>& offsets =
       last_commit_offsets_;  // kept for PublishCommitDelta
   offsets.clear();
@@ -619,26 +765,34 @@ Status Pager::CommitViaWal(const std::vector<internal::Frame*>& dirty) {
       std::string header = SerializedHeader();
       std::copy(header.begin(), header.end(), frame->data.data());
     }
-    offsets.emplace_back(frame->id, wal_->AddPage(frame->id, frame->data));
+    offsets.emplace_back(
+        frame->id,
+        MakeWalSlot(txn_domain_, dom.wal->AddPage(frame->id, frame->data)));
   }
-  Status appended = wal_->CommitTxn(commit_seq_, page_count_);
+  Status appended = dom.wal->CommitTxn(commit_seq_, page_count_);
   if (!appended.ok()) {
-    wal_->AbandonTxn();
+    dom.wal->AbandonTxn();
     --commit_seq_;
     return appended;
   }
-  for (const auto& [id, offset] : offsets) wal_index_[id] = offset;
-  stats_.wal_frames += dirty.size();
-  stats_.pages_written += dirty.size();
-  ++wal_unsynced_commits_;
+  dom.last_commit_seq = commit_seq_;
+  for (const auto& [id, slot] : offsets) wal_index_[id] = slot;
+  stats_.wal_frames.Inc(dirty.size());
+  stats_.pages_written.Inc(dirty.size());
+  dom.stat_commits.fetch_add(1, std::memory_order_relaxed);
+  dom.stat_wal_frames.fetch_add(dirty.size(), std::memory_order_relaxed);
+  // Release: pairs with the acquire load in SyncDomainLocked — a sync
+  // (possibly on another thread) that observes this commit as pending
+  // also observes its appended bytes.
+  dom.unsynced_commits.fetch_add(1, std::memory_order_release);
   // Publish the freshly committed images into the shared pool, so
   // snapshot readers (and repeated one-shot queries) hit hot pages —
   // tree roots, the catalog — without ever touching the log.
   // `offsets` and `dirty` are index-aligned (built by the same loop).
   if (pool_ != nullptr && options_.pool_publish_on_commit) {
     for (size_t i = 0; i < dirty.size(); ++i) {
-      PublishToPool(PageImageKey{pool_owner_, offsets[i].first, generation_,
-                                 offsets[i].second},
+      PublishToPool(PageImageKey{pool_owner_, offsets[i].first,
+                                 dom.generation, offsets[i].second},
                     std::string(dirty[i]->data));
     }
   }
@@ -685,7 +839,7 @@ Status Pager::Rollback() {
   fresh_pages_.clear();
   in_txn_ = false;
   ++change_count_;
-  ++stats_.rollbacks;
+  stats_.rollbacks.Inc();
   return Status::Ok();
 }
 
@@ -694,11 +848,11 @@ Result<internal::Frame*> Pager::FetchFrame(PageId id) {
                                                id, page_count_));
   auto it = frames_.find(id);
   if (it != frames_.end()) {
-    ++stats_.cache_hits;
+    stats_.cache_hits.Inc();
     LruTouch(it->second.get());
     return it->second.get();
   }
-  ++stats_.cache_misses;
+  stats_.cache_misses.Inc();
   auto frame = std::make_unique<internal::Frame>();
   frame->id = id;
   // A miss can only be a clean committed page (dirty frames are never
@@ -717,15 +871,17 @@ Result<internal::Frame*> Pager::FetchFrame(PageId id) {
     // No stats_.pages_read: the pool hit (counted in pool stats) saved
     // the storage read.
   } else if (auto wal_hit = wal_index_.find(id); wal_hit != wal_index_.end()) {
-    // Latest committed version lives in the write-ahead log (the page
-    // was evicted after a WAL commit and not yet checkpointed).
-    BP_RETURN_IF_ERROR(
-        wal_->ReadPayload(wal_hit->second, kPageSize, &frame->data));
-    ++stats_.pages_read;
+    // Latest committed version lives in a write-ahead log stream (the
+    // page was evicted after a WAL commit and not yet checkpointed);
+    // the slot names the stream and the offset within it.
+    const uint64_t slot = wal_hit->second;
+    BP_RETURN_IF_ERROR(domains_[SlotStream(slot)].wal->ReadPayload(
+        SlotOffset(slot), kPageSize, &frame->data));
+    stats_.pages_read.Inc();
   } else if (id < main_file_pages_) {
     BP_RETURN_IF_ERROR(
         file_->Read(uint64_t{id} * kPageSize, kPageSize, &frame->data));
-    ++stats_.pages_read;
+    stats_.pages_read.Inc();
   } else {
     // Allocated this transaction: nothing on disk yet.
     frame->data.assign(kPageSize, '\0');
@@ -858,7 +1014,7 @@ void Pager::MaybeEvict() {
     // reference into the node it is destroying.
     const PageId victim_id = victim->id;
     frames_.erase(victim_id);
-    ++stats_.evictions;
+    stats_.evictions.Inc();
   }
 }
 
@@ -866,12 +1022,17 @@ bool Pager::CommittedImageKey(PageId id, PageImageKey* key) const {
   if (pool_ == nullptr) return false;  // also covers journal mode
   key->owner = pool_owner_;
   key->id = id;
-  key->generation = generation_;
   if (auto it = wal_index_.find(id); it != wal_index_.end()) {
+    // The offset field carries the full slot, so images of the same
+    // page in different streams can never alias; the generation is the
+    // owning STREAM's (its offsets are what checkpoint truncation
+    // recycles).
+    key->generation = domains_[SlotStream(it->second)].generation;
     key->offset = it->second;
     return true;
   }
   if (id < main_file_pages_) {
+    key->generation = main_generation_;
     key->offset = kMainFileImage;
     return true;
   }
@@ -883,25 +1044,45 @@ void Pager::PublishToPool(const PageImageKey& key, std::string&& image) {
                       std::make_shared<const std::string>(std::move(image)));
 }
 
+DomainStats Pager::domain_stats(WriteDomain domain) const {
+  BP_REQUIRE(domain < kMaxWriteDomains, "invalid write domain");
+  const WalDomain& dom = domains_[domain];
+  DomainStats out;
+  out.commits = dom.stat_commits.load(std::memory_order_relaxed);
+  out.wal_frames = dom.stat_wal_frames.load(std::memory_order_relaxed);
+  out.fsyncs = dom.stat_fsyncs.load(std::memory_order_relaxed);
+  out.bytes_synced = dom.stat_bytes_synced.load(std::memory_order_relaxed);
+  out.group_commits =
+      dom.stat_group_commits.load(std::memory_order_relaxed);
+  if (dom.wal != nullptr) out.wal_bytes = dom.wal->committed_bytes();
+  {
+    // The published copy, not dom.last_commit_seq: that member belongs
+    // to the writer thread.
+    util::MutexLock lock(commit_mu_);
+    out.last_commit_seq = published_.domain_commit_seq[domain];
+  }
+  return out;
+}
+
 PagerStats Pager::stats() const {
-  // Relaxed: each counter is monotone and written by the one writer
-  // thread; a dump racing a commit just sees a slightly stale value.
-  const auto get = [](const std::atomic<uint64_t>& v) {
-    return v.load(std::memory_order_relaxed);
-  };
+  // Relaxed: every counter is monotone; a dump racing a commit just
+  // sees a slightly stale value.
   PagerStats out;
-  out.commits = get(stats_.commits);
-  out.rollbacks = get(stats_.rollbacks);
-  out.pages_written = get(stats_.pages_written);
-  out.pages_read = get(stats_.pages_read);
-  out.cache_hits = get(stats_.cache_hits);
-  out.cache_misses = get(stats_.cache_misses);
-  out.evictions = get(stats_.evictions);
-  out.fsyncs = get(stats_.fsyncs);
-  out.bytes_synced = get(stats_.bytes_synced);
-  out.wal_frames = get(stats_.wal_frames);
-  out.checkpoints = get(stats_.checkpoints);
-  out.group_commits = get(stats_.group_commits);
+  out.commits = stats_.commits.load();
+  out.rollbacks = stats_.rollbacks.load();
+  out.pages_written = stats_.pages_written.load();
+  out.pages_read = stats_.pages_read.load();
+  out.cache_hits = stats_.cache_hits.load();
+  out.cache_misses = stats_.cache_misses.load();
+  out.evictions = stats_.evictions.load();
+  out.wal_frames = stats_.wal_frames.load();
+  out.checkpoints = stats_.checkpoints.load();
+  out.fsyncs = stats_.sync.fsyncs.load(std::memory_order_relaxed);
+  out.bytes_synced = stats_.sync.bytes_synced.load(std::memory_order_relaxed);
+  out.group_commits =
+      stats_.sync.group_commits.load(std::memory_order_relaxed);
+  out.fsync_overlaps =
+      stats_.sync.fsync_overlaps.load(std::memory_order_relaxed);
   if (pool_ != nullptr) {
     BufferPoolStats pool = pool_->stats();
     out.pool_hits = pool.hits;
@@ -947,6 +1128,9 @@ void Pager::CollectMetrics(obs::CollectionSink& sink) const {
   counter("bp_pager_checkpoints", "WAL checkpoints folded", s.checkpoints);
   counter("bp_pager_group_commits", "Group-commit windows closed",
           s.group_commits);
+  counter("bp_pager_fsync_overlaps",
+          "Stream fsyncs that overlapped another stream's fsync",
+          s.fsync_overlaps);
   counter("bp_snapshot_pages_read",
           "Snapshot reads served from log/database file",
           s.snapshot_pages_read);
@@ -964,6 +1148,35 @@ void Pager::CollectMetrics(obs::CollectionSink& sink) const {
     gauge("bp_pool_pinned_bytes",
           "Pool bytes pinned by live readers (un-evictable floor)",
           s.pool_pinned_bytes);
+  }
+  if (wal_mode()) {
+    for (uint32_t d = 0; d < write_domains_; ++d) {
+      const DomainStats ds = domain_stats(d);
+      const std::string dlabels =
+          "db=\"" + path_ + "\",domain=\"" + std::to_string(d) + "\"";
+      auto dcounter = [&](const char* name, const char* help, uint64_t v) {
+        sink.Counter(name, dlabels, help, static_cast<double>(v));
+      };
+      dcounter("bp_pager_domain_commits",
+               "Transactions committed to this domain's WAL stream",
+               ds.commits);
+      dcounter("bp_pager_domain_wal_frames",
+               "Page images appended to this domain's WAL stream",
+               ds.wal_frames);
+      dcounter("bp_pager_domain_wal_bytes",
+               "Committed bytes in this domain's WAL stream", ds.wal_bytes);
+      dcounter("bp_pager_domain_fsyncs",
+               "fsyncs issued on this domain's WAL stream", ds.fsyncs);
+      dcounter("bp_pager_domain_bytes_synced",
+               "Bytes made durable on this domain's WAL stream",
+               ds.bytes_synced);
+      dcounter("bp_pager_domain_group_commits",
+               "Group-commit windows closed on this domain's WAL stream",
+               ds.group_commits);
+      sink.Gauge("bp_pager_domain_last_commit_seq", dlabels,
+                 "Newest merged commit sequence on this domain's stream",
+                 static_cast<double>(ds.last_commit_seq));
+    }
   }
 }
 

@@ -47,7 +47,13 @@ Result<std::shared_ptr<const std::string>> Snapshot::ReadPage(
         id));
   }
 
-  PageImageKey key{pool_owner_, id, generation_,
+  // Stream-resident images are versioned by the owning STREAM's
+  // generation (the slot's offsets are what checkpoint truncation
+  // recycles); main-file ones by the main-file generation.
+  const uint32_t generation =
+      in_wal ? domain_generation_[SlotStream(wal_hit->second)]
+             : main_generation_;
+  PageImageKey key{pool_owner_, id, generation,
                    in_wal ? wal_hit->second : kMainFileImage};
   if (pool_ != nullptr) {
     if (std::shared_ptr<const std::string> image = pool_->Lookup(key)) {
@@ -63,11 +69,14 @@ Result<std::shared_ptr<const std::string>> Snapshot::ReadPage(
   // the fallback cache keeps whichever inserted first.
   auto page = std::make_shared<std::string>();
   if (in_wal) {
-    // Latest committed image as of this snapshot lives in the log. The
-    // log only grows while snapshots are live (checkpoint truncation is
-    // deferred), so the frozen offset is still the bytes we froze.
+    // Latest committed image as of this snapshot lives in the slot's
+    // domain stream. A stream only grows while snapshots are live
+    // (checkpoint truncation is deferred), so the frozen offset is
+    // still the bytes we froze.
+    const uint64_t slot = wal_hit->second;
     BP_RETURN_IF_ERROR(
-        pager_->wal_->ReadPayload(wal_hit->second, kPageSize, page.get()));
+        pager_->domains_[SlotStream(slot)].wal->ReadPayload(
+            SlotOffset(slot), kPageSize, page.get()));
   } else {
     // The main database file is only rewritten by checkpoints, which
     // cannot run while this snapshot is live.

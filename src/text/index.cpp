@@ -157,7 +157,11 @@ Status InvertedIndex::Flush() {
   // Bound handles have nothing pending by construction (AddDocument is
   // rejected), so the implicit Flush in every query is a no-op there.
   if (pending_.empty() && pending_doc_lengths_.empty()) return Status::Ok();
-  AutoTxn txn(db_.pager());
+  // Index writes ride the text write domain: with partitioned domains
+  // their WAL frames land on stream 1, so an index refresh's fsync can
+  // overlap the ingest committer's fsync on stream 0 (single-domain
+  // pagers route this back to domain 0; see Pager::Begin).
+  AutoTxn txn(db_.pager(), storage::kTextDomain);
 
   for (auto& [term, postings] : pending_) {
     std::sort(postings.begin(), postings.end(),

@@ -33,14 +33,18 @@ Result<WalContents> WalReader::ReadCommitted(Env* env,
   uint32_t version = header.ReadU32();
   uint32_t page_size = header.ReadU32();
   header.ReadU64();  // salt (fixed; chain seeds from kWalSalt)
+  uint32_t stream_id = header.ReadU32();
+  uint64_t base_seq = header.ReadU64();
   if (magic != kWalMagic || version != kWalVersion ||
       page_size != kPageSize) {
     return Status::Corruption("bad wal header: " + path);
   }
+  out.stream_id = stream_id;
+  out.base_seq = base_seq;
   out.valid_bytes = kWalFileHeaderBytes;
 
   // Page images of the transaction currently being scanned; promoted to
-  // out.pages when (and only when) its commit frame validates.
+  // out.pages / out.txns when (and only when) its commit frame validates.
   std::map<PageId, std::string> pending;
   uint64_t chain = kWalSalt;
   uint64_t expected_lsn = 1;
@@ -53,12 +57,14 @@ Result<WalContents> WalReader::ReadCommitted(Env* env,
     }
     Reader r(std::string_view(raw).substr(pos));
     uint8_t type = r.ReadU8();
+    uint8_t stream = r.ReadU8();
     PageId page_id = r.ReadU32();
     uint64_t lsn = r.ReadU64();
     uint32_t payload_len = r.ReadU32();
     size_t frame_bytes = FrameBytes(payload_len);
     bool shape_ok =
         remaining >= frame_bytes && lsn == expected_lsn &&
+        stream == static_cast<uint8_t>(stream_id) &&
         ((type == static_cast<uint8_t>(FrameType::kPageImage) &&
           payload_len == kPageSize) ||
          (type == static_cast<uint8_t>(FrameType::kCommit) &&
@@ -89,10 +95,15 @@ Result<WalContents> WalReader::ReadCommitted(Env* env,
       Reader c(payload);
       uint64_t commit_seq = c.ReadU64();
       uint32_t page_count = c.ReadU32();
+      WalTxn txn;
+      txn.commit_seq = commit_seq;
+      txn.page_count = page_count;
+      txn.pages = pending;  // copy: aggregate view still wants the images
       for (auto& [id, image] : pending) {
         out.pages[id] = std::move(image);
       }
       pending.clear();
+      out.txns.push_back(std::move(txn));
       out.last_commit_seq = commit_seq;
       out.last_page_count = page_count;
       ++out.commits;

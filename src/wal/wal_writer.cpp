@@ -9,22 +9,31 @@ using util::Result;
 using util::Status;
 using util::Writer;
 
-Result<std::unique_ptr<WalWriter>> WalWriter::Open(Env* env,
-                                                   std::string path) {
-  BP_ASSIGN_OR_RETURN(std::unique_ptr<File> file, env->Open(path));
-  BP_RETURN_IF_ERROR(file->Truncate(0));
+Status WalWriter::WriteHeader(uint64_t base_seq) {
   Writer w;
   w.PutU32(kWalMagic);
   w.PutU32(kWalVersion);
   w.PutU32(storage::kPageSize);
   w.PutU64(kWalSalt);
+  w.PutU32(stream_id_);
+  w.PutU64(base_seq);
   BP_CHECK(w.size() == kWalFileHeaderBytes);
-  BP_RETURN_IF_ERROR(file->Write(0, w.data()));
+  return file_->Write(0, w.data());
+}
 
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(Env* env, std::string path,
+                                                   uint32_t stream_id,
+                                                   uint64_t base_seq) {
+  BP_ASSIGN_OR_RETURN(std::unique_ptr<File> file, env->Open(path));
+  BP_RETURN_IF_ERROR(file->Truncate(0));
   std::unique_ptr<WalWriter> writer(
-      new WalWriter(std::move(file), std::move(path)));
+      new WalWriter(std::move(file), std::move(path), stream_id));
+  BP_RETURN_IF_ERROR(writer->WriteHeader(base_seq));
   writer->file_bytes_ = kWalFileHeaderBytes;
-  writer->synced_bytes_ = 0;  // the header itself is not yet durable
+  writer->committed_bytes_.store(kWalFileHeaderBytes,
+                                 std::memory_order_relaxed);
+  // The header itself is not yet durable.
+  writer->synced_bytes_.store(0, std::memory_order_relaxed);
   return writer;
 }
 
@@ -32,6 +41,7 @@ void WalWriter::AppendFrame(FrameType type, PageId page_id,
                             std::string_view payload) {
   size_t frame_start = buffer_.size();
   buffer_.PutU8(static_cast<uint8_t>(type));
+  buffer_.PutU8(static_cast<uint8_t>(stream_id_));
   buffer_.PutU32(page_id);
   buffer_.PutU64(pending_lsn_++);
   buffer_.PutU32(static_cast<uint32_t>(payload.size()));
@@ -59,6 +69,9 @@ Status WalWriter::CommitTxn(uint64_t commit_seq, uint32_t page_count) {
 
   BP_RETURN_IF_ERROR(file_->Write(file_bytes_, buffer_.data()));
   file_bytes_ += buffer_.size();
+  // Release-publish the new committed length so a Sync on another
+  // thread that observes it also observes the File::Write above.
+  committed_bytes_.store(file_bytes_, std::memory_order_release);
   chain_checksum_ = pending_checksum_;
   next_lsn_ = pending_lsn_;
   buffer_.Clear();
@@ -72,19 +85,27 @@ void WalWriter::AbandonTxn() {
 }
 
 Result<uint64_t> WalWriter::Sync() {
-  BP_CHECK(buffer_.size() == 0, "Sync with an uncommitted buffered txn");
-  if (file_bytes_ == synced_bytes_) return uint64_t{0};
+  // Snapshot the committed length first: commits that land after this
+  // load are NOT counted as durable even if the fsync happens to cover
+  // them — conservative, and what the caller's unsynced-commit
+  // accounting assumes.
+  uint64_t committed = committed_bytes_.load(std::memory_order_acquire);
+  uint64_t synced = synced_bytes_.load(std::memory_order_relaxed);
+  if (committed == synced) return uint64_t{0};
   BP_RETURN_IF_ERROR(file_->Sync());
-  uint64_t made_durable = file_bytes_ - synced_bytes_;
-  synced_bytes_ = file_bytes_;
-  return made_durable;
+  synced_bytes_.store(committed, std::memory_order_relaxed);
+  return committed - synced;
 }
 
-Status WalWriter::ResetToHeader() {
+Status WalWriter::ResetToHeader(uint64_t base_seq) {
   BP_CHECK(buffer_.size() == 0, "checkpoint during a buffered txn");
-  BP_RETURN_IF_ERROR(file_->Truncate(kWalFileHeaderBytes));
+  BP_RETURN_IF_ERROR(file_->Truncate(0));
+  BP_RETURN_IF_ERROR(WriteHeader(base_seq));
   file_bytes_ = kWalFileHeaderBytes;
-  synced_bytes_ = std::min(synced_bytes_, file_bytes_);
+  committed_bytes_.store(file_bytes_, std::memory_order_relaxed);
+  // The rewritten header is not durable yet; force the next Sync to
+  // fsync it.
+  synced_bytes_.store(0, std::memory_order_relaxed);
   chain_checksum_ = kWalSalt;
   pending_checksum_ = kWalSalt;
   next_lsn_ = 1;

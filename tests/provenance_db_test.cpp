@@ -560,6 +560,9 @@ TEST_F(ProvenanceDbTest, TwoDbsShareOneInjectedPoolBudget) {
   ProvenanceDb::Options options;
   options.db.env = &env_;
   options.db.buffer_pool = pool;
+  // Injected pool: pool_bytes = 0 defers to the pool's own budget
+  // (leaving the default would contradict it — InvalidArgument).
+  options.db.pool_bytes = 0;
 
   auto a = ProvenanceDb::Open("shared_a.db", options);
   auto b = ProvenanceDb::Open("shared_b.db", options);
