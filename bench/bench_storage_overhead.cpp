@@ -1,4 +1,5 @@
-// E1 — Storage overhead of the provenance schema over Places.
+// E1 — Storage overhead of the provenance schema over Places, and the
+// storage diet (checkpoint-time page compression) applied to both.
 //
 // Paper (section 4): "The total storage overhead of this schema over
 // Places is 39.5%, but on real data, this represents less than 5MB
@@ -6,25 +7,70 @@
 //
 // Both recorders ingest the same 79-day stream into one database; bytes
 // are attributed per tree namespace by the storage engine's space
-// accounting (pages x page size, as one would measure SQLite tables).
-// The text index used by search is reported separately: it is IR
-// infrastructure, not part of the provenance schema the paper measures.
+// accounting. With the diet on (compression=fast), accounting switches
+// from pages x page size to PHYSICAL bytes: a checkpoint slot holding a
+// compressed frame counts header + payload (the rest of the slot is
+// zero-filled and hole-punchable). The text index used by search is
+// reported separately: it is IR infrastructure, not part of the
+// provenance schema the paper measures.
+//
+// Why replace_overhead_pct exceeds the paper's 39.5% (often > 100%):
+// the prov.* namespace carries THREE redundant access-path indexes —
+// prov.in / prov.out (bidirectional adjacency postings) and
+// prov.url_index — that store every edge or node key a second and third
+// time so traces run without scans. The paper's schema piggybacked on
+// SQLite tables and reused Places' own indexes, so its 39.5% counted
+// none of that. The core graph data alone (prov.nodes + prov.edges)
+// stays the same order as places.* (below it at this bench's config);
+// the split is printed and exported below, and
+// tests/integration_test.cpp pins the decomposition as a regression
+// test.
 #include "bench/common.hpp"
+
+namespace {
+
+struct SpaceCut {
+  uint64_t places = 0;
+  uint64_t prov = 0;
+  uint64_t prov_core = 0;   // prov.nodes + prov.edges (graph data)
+  uint64_t prov_index = 0;  // prov.in/out/url_index/term_index
+  uint64_t text = 0;
+};
+
+SpaceCut Cut(const bp::storage::SpaceReport& space) {
+  SpaceCut cut;
+  cut.places = space.BytesForPrefix("places.");
+  cut.prov = space.BytesForPrefix("prov.");
+  cut.prov_core = space.BytesForPrefix("prov.nodes") +
+                  space.BytesForPrefix("prov.edges");
+  cut.prov_index = cut.prov - cut.prov_core;
+  cut.text = space.BytesForPrefix("textindex.");
+  return cut;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace bp;
   using namespace bp::bench;
+  using storage::compress::CompressionOptions;
   Init(argc, argv, "bench_storage_overhead");
 
   Header("E1", "storage overhead: provenance schema vs Places baseline",
          "39.5% overhead over Places; < 5 MB on a real 79-day history");
 
-  auto fx = HistoryFixture::Build({});
+  FixtureOptions off_options;
+  off_options.compression.mode = CompressionOptions::Mode::kOff;
+  auto fx = HistoryFixture::Build(off_options);
+  // Fold the WAL into the main file before measuring: space accounting
+  // reads physical checkpoint slots, and the diet only applies at the
+  // fold (the WAL hot path always stays raw).
+  MustOk(fx->db->pager().Checkpoint(), "checkpoint (off)");
   auto space = MustOk(fx->db->Space(), "space report");
+  const SpaceCut off = Cut(space);
 
-  const uint64_t places_bytes = space.BytesForPrefix("places.");
-  const uint64_t prov_bytes = space.BytesForPrefix("prov.");
-  const uint64_t text_bytes = space.BytesForPrefix("textindex.");
+  const uint64_t places_bytes = off.places;
+  const uint64_t prov_bytes = off.prov;
   // The paper's provenance schema subsumes Places (pages, bookmarks,
   // downloads become homogeneous nodes), so the comparable figure is the
   // cost of REPLACING Places: (prov - places) / places. The side-by-side
@@ -36,9 +82,13 @@ int main(int argc, char** argv) {
   const double side_by_side =
       100.0 * static_cast<double>(prov_bytes) /
       static_cast<double>(places_bytes);
+  const double core_overhead =
+      100.0 * (static_cast<double>(off.prov_core) -
+               static_cast<double>(places_bytes)) /
+      static_cast<double>(places_bytes);
 
   Row("history scale: %u days, %llu visits, %llu prov nodes, %llu prov edges",
-      79, (unsigned long long)fx->out.total_visits,
+      State().smoke ? 3 : 79, (unsigned long long)fx->out.total_visits,
       (unsigned long long)*fx->prov->NodeCount(),
       (unsigned long long)*fx->prov->EdgeCount());
   Blank();
@@ -48,18 +98,29 @@ int main(int argc, char** argv) {
       util::HumanBytes(places_bytes).c_str());
   Row("%-34s %12llu %10s", "prov.* (provenance graph)",
       (unsigned long long)prov_bytes, util::HumanBytes(prov_bytes).c_str());
+  Row("%-34s %12llu %10s", "  prov core (nodes + edges)",
+      (unsigned long long)off.prov_core,
+      util::HumanBytes(off.prov_core).c_str());
+  Row("%-34s %12llu %10s", "  prov access-path indexes",
+      (unsigned long long)off.prov_index,
+      util::HumanBytes(off.prov_index).c_str());
   Row("%-34s %12llu %10s", "textindex.* (IR index, reported only)",
-      (unsigned long long)text_bytes, util::HumanBytes(text_bytes).c_str());
+      (unsigned long long)off.text, util::HumanBytes(off.text).c_str());
   Blank();
   Row("overhead of replacing Places with the provenance schema: %.1f%%",
       replace_overhead);
-  Row("  (paper: 39.5%% — their schema reuses SQLite/Places row storage;");
-  Row("   ours pays extra for graph adjacency indexes, see EXPERIMENTS.md)");
+  Row("  (paper: 39.5%% — their schema reused SQLite/Places row storage");
+  Row("   and indexes; ours pays for prov.in/out adjacency postings and");
+  Row("   prov.url_index on top of the core graph, see the file header)");
+  Row("core graph only (nodes + edges) vs Places: %.1f%%", core_overhead);
   Row("side-by-side ratio prov/places: %.1f%%", side_by_side);
   Row("absolute provenance footprint:  %s   (paper: < 5 MB)",
       util::HumanBytes(prov_bytes).c_str());
   Metric("replace_overhead_pct", replace_overhead);
+  Metric("core_overhead_pct", core_overhead);
   Metric("prov_bytes", static_cast<double>(prov_bytes));
+  Metric("prov_core_bytes", static_cast<double>(off.prov_core));
+  Metric("prov_index_bytes", static_cast<double>(off.prov_index));
   Metric("places_bytes", static_cast<double>(places_bytes));
   Blank();
 
@@ -70,6 +131,51 @@ int main(int argc, char** argv) {
         (unsigned long long)entry.stats.TotalPages(),
         (unsigned long long)entry.stats.cells, entry.stats.depth);
   }
+  Blank();
+
+  // ------------------------------------------- storage diet (E1b sweep)
+  // The same stream ingested with compression=fast: checkpoint folds
+  // compress every eligible page that clears the ratio floor, and the
+  // space report prices compressed slots at their physical frame size.
+  FixtureOptions fast_options;
+  fast_options.compression.mode = CompressionOptions::Mode::kFast;
+  auto fast_fx = HistoryFixture::Build(fast_options);
+  MustOk(fast_fx->db->pager().Checkpoint(), "checkpoint (fast)");
+  auto fast_space = MustOk(fast_fx->db->Space(), "space report (fast)");
+  const SpaceCut fast = Cut(fast_space);
+  const storage::PagerStats pager_stats = fast_fx->db->pager().stats();
+
+  const uint64_t off_combined = off.prov + off.places;
+  const uint64_t fast_combined = fast.prov + fast.places;
+  const double reduction =
+      fast_combined > 0 ? static_cast<double>(off_combined) /
+                              static_cast<double>(fast_combined)
+                        : 0.0;
+  Row("storage diet (compression=fast, measured after checkpoint):");
+  Row("%-34s %12s %12s", "namespace", "off bytes", "fast bytes");
+  Row("%-34s %12llu %12llu", "places.*", (unsigned long long)off.places,
+      (unsigned long long)fast.places);
+  Row("%-34s %12llu %12llu", "prov.*", (unsigned long long)off.prov,
+      (unsigned long long)fast.prov);
+  Row("%-34s %12llu %12llu", "textindex.*", (unsigned long long)off.text,
+      (unsigned long long)fast.text);
+  Row("combined prov+places on-disk reduction: %.2fx", reduction);
+  // Acceptance target for the storage diet: the fold must buy at least
+  // 1.8x on the schema bytes the paper measures, or compression is not
+  // earning its read-path tax.
+  BP_CHECK(reduction >= 1.8,
+           "compression=fast must reduce prov+places on-disk >= 1.8x");
+  Row("checkpoint compression: %llu pages compressed, %llu -> %llu bytes, "
+      "%llu decompress reads",
+      (unsigned long long)pager_stats.compressed_pages,
+      (unsigned long long)pager_stats.compressible_raw_bytes,
+      (unsigned long long)pager_stats.compressed_bytes,
+      (unsigned long long)pager_stats.decompress_reads);
+  Metric("prov_bytes_fast", static_cast<double>(fast.prov));
+  Metric("places_bytes_fast", static_cast<double>(fast.places));
+  Metric("disk_reduction_x", reduction);
+  Metric("compressed_pages", static_cast<double>(pager_stats.compressed_pages));
+  Metric("compressed_bytes", static_cast<double>(pager_stats.compressed_bytes));
   // Commit-latency distribution from the engine's registry (populated
   // by the fixture ingest): instrumentation liveness cross-check.
   MetricObsHistogram("obs_commit_us", CommitLatencyHistogram());

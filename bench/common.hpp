@@ -149,6 +149,11 @@ struct FixtureOptions {
   storage::DurabilityMode durability = storage::DurabilityMode::kWal;
   uint32_t wal_group_commit = 8;
   size_t ingest_batch = 256;  // events per storage transaction
+  // Storage diet: kFast compresses checkpoint folds + demotes pool
+  // evictions to the compressed cold tier. Default follows
+  // BP_COMPRESSION (so a compression-on CI lane exercises the benches
+  // too); sweeps set it explicitly.
+  storage::compress::CompressionOptions compression;
 };
 
 // A complete simulated world + populated database.
@@ -191,6 +196,7 @@ struct HistoryFixture {
     db_opts.sync = false;  // measuring CPU/layout, not fsync
     db_opts.durability = options.durability;
     db_opts.wal_group_commit = options.wal_group_commit;
+    db_opts.compression = options.compression;
     fx->db = MustOk(storage::Db::Open("bench.db", db_opts), "open db");
     fx->places = MustOk(places::PlacesStore::Open(*fx->db), "places");
     prov::ProvOptions prov_opts;

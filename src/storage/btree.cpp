@@ -897,6 +897,7 @@ Result<TreeStats> BTree::Stats() const {
     auto [page_id, depth] = stack.back();
     stack.pop_back();
     stats.depth = std::max(stats.depth, depth);
+    stats.disk_bytes += pager_.OnDiskPageBytes(page_id);
     BP_ASSIGN_OR_RETURN(PageView ref, FetchPage(page_id));
     const char* p = ref.data();
     if (NodeType(p) == kTypeInterior) {
@@ -917,6 +918,7 @@ Result<TreeStats> BTree::Stats() const {
           PageId ov = cell.first_overflow;
           while (ov != kNoPage) {
             ++stats.overflow_pages;
+            stats.disk_bytes += pager_.OnDiskPageBytes(ov);
             BP_ASSIGN_OR_RETURN(PageView oref, FetchPage(ov));
             ov = Aux(oref.data());
           }

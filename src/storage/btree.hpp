@@ -58,6 +58,11 @@ struct TreeStats {
   uint64_t cells = 0;       // live leaf cells (== record count)
   uint64_t key_bytes = 0;   // sum of live key lengths
   uint64_t value_bytes = 0; // sum of live value lengths (incl. overflow)
+  // Physical bytes the tree's pages occupy in the main file: a page
+  // whose checkpoint slot holds a compressed frame counts its frame
+  // size (header + payload), everything else a full page. Equal to
+  // TotalBytes() with compression off.
+  uint64_t disk_bytes = 0;
   uint32_t depth = 0;       // 1 = root-only
 
   uint64_t TotalPages() const {

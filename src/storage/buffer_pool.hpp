@@ -40,6 +40,18 @@
 // are shared-ownership (shared_ptr<const std::string>), so an evicted
 // image stays alive and immutable for as long as any reader holds it —
 // eviction only forgets, it never frees in-use bytes.
+//
+// Cold tier (compression=fast): instead of forgetting outright, an
+// evicted frame that compresses well demotes into an in-memory COLD
+// TIER of compressed frames, living inside the same byte budget
+// (compressed frames count their compressed size). A pool miss checks
+// the cold tier and decompresses on pin — turning what would have been
+// a device read (tens of µs on the modeled flash device) into a ~1µs
+// decode — then promotes the frame back to the hot tier. Cold frames
+// have no readers holding them, so cold eviction (when even compressed
+// bytes exceed the budget) is unconditional, oldest first; the cold
+// share is additionally capped at half each shard's budget so a well-
+// compressing workload cannot starve the hot tier.
 #pragma once
 
 #include <array>
@@ -50,7 +62,12 @@
 #include <string>
 #include <unordered_map>
 
+#include "storage/compress.hpp"
 #include "storage/page.hpp"
+
+namespace bp::obs {
+class Histogram;
+}  // namespace bp::obs
 
 namespace bp::storage {
 
@@ -85,13 +102,26 @@ struct BufferPoolStats {
   // by stats() with an O(frames) walk, so it is a dump-time number,
   // not a hot-path counter.
   uint64_t pinned_bytes = 0;
+  // Compressed cold tier (all zero with compression off). Cold bytes
+  // are counted inside `bytes` (one budget); `frames` counts the hot
+  // tier only.
+  uint64_t cold_demotions = 0;  // evictions demoted instead of dropped
+  uint64_t cold_hits = 0;       // misses rescued by a cold decompress
+  uint64_t cold_evictions = 0;  // cold frames aged out entirely
+  uint64_t cold_bytes = 0;      // resident compressed bytes right now
+  uint64_t cold_frames = 0;     // resident cold frames right now
 };
 
 class BufferPool {
  public:
   // `byte_budget` caps resident image bytes pool-wide (soft while
-  // pinned frames exceed it). Shard count is fixed at kShards.
-  explicit BufferPool(size_t byte_budget);
+  // pinned frames exceed it), hot + cold tier together. Shard count is
+  // fixed at kShards. `compression` drives the cold tier: with
+  // mode=kFast, evictions demote into compressed frames (see the file
+  // header); the default reads BP_COMPRESSION, unset meaning off.
+  explicit BufferPool(size_t byte_budget,
+                      compress::CompressionOptions compression =
+                          compress::CompressionOptions{});
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -138,6 +168,14 @@ class BufferPool {
     Frame* prev = nullptr;  // intrusive LRU list; head = MRU
     Frame* next = nullptr;
   };
+  // A demoted frame: the compressed bytes, owned outright — nothing
+  // outside the pool ever references a cold frame.
+  struct ColdFrame {
+    PageImageKey key;
+    std::string frame;  // self-describing compressed frame
+    ColdFrame* prev = nullptr;  // cold-tier LRU; head = MRU
+    ColdFrame* next = nullptr;
+  };
   struct Shard;
 
  private:
@@ -145,6 +183,10 @@ class BufferPool {
 
   const size_t byte_budget_;
   const size_t shard_budget_;
+  const compress::CompressionOptions compression_;
+  // Process-wide codec latency distributions (null = obs off).
+  obs::Histogram* compress_us_ = nullptr;
+  obs::Histogram* decompress_us_ = nullptr;
   std::unique_ptr<Shard[]> shards_;
 };
 

@@ -15,7 +15,9 @@ uint64_t SpaceReport::BytesForPrefix(std::string_view prefix) const {
   for (const SpaceEntry& entry : trees) {
     if (entry.name.size() >= prefix.size() &&
         std::string_view(entry.name).substr(0, prefix.size()) == prefix) {
-      total += entry.stats.TotalBytes();
+      // Physical footprint: compressed checkpoint slots count their
+      // frame size, so the storage-overhead experiment sees the diet.
+      total += entry.stats.disk_bytes;
     }
   }
   return total;
@@ -34,6 +36,7 @@ Result<std::unique_ptr<Db>> Db::Open(const std::string& path,
   popts.pool_bytes = options.pool_bytes;
   popts.buffer_pool = options.buffer_pool;
   popts.pool_publish_on_commit = options.pool_publish_on_commit;
+  popts.compression = options.compression;
   BP_ASSIGN_OR_RETURN(std::unique_ptr<Pager> pager,
                       Pager::Open(path, popts));
   std::unique_ptr<Db> db(new Db(std::move(pager)));

@@ -36,6 +36,10 @@ struct DbOptions {
   size_t pool_bytes = 32 << 20;
   std::shared_ptr<BufferPool> buffer_pool;
   bool pool_publish_on_commit = true;
+  // Storage diet (see PagerOptions::compression): mode=kFast compresses
+  // eligible pages at checkpoint and demotes pool evictions into a
+  // compressed cold tier. Defaults from BP_COMPRESSION; unset = off.
+  compress::CompressionOptions compression;
 };
 
 struct SpaceEntry {

@@ -46,7 +46,7 @@ class PosixFile : public File {
         return ErrnoStatus("pread", name_);
       }
       if (r == 0) {
-        return done == 0 ? Status::OutOfRange("read past EOF")
+        return done == 0 ? Status::OutOfRange("read past EOF: " + name_)
                          : Status::IoError("short read: " + name_);
       }
       done += static_cast<size_t>(r);
@@ -154,7 +154,9 @@ class MemFile : public File {
     {
       util::ReaderMutexLock lock(content_->mu);
       const std::string& c = content_->data;
-      if (offset >= c.size()) return Status::OutOfRange("read past EOF");
+      if (offset >= c.size()) {
+        return Status::OutOfRange("read past EOF: " + name_);
+      }
       if (offset + n > c.size()) return Status::IoError("short read (mem)");
       out->assign(c, offset, n);
     }

@@ -128,7 +128,10 @@ Result<std::unique_ptr<Pager>> Pager::Open(std::string path,
     if (options.buffer_pool != nullptr) {
       pager->pool_ = options.buffer_pool;
     } else if (options.pool_bytes > 0) {
-      pager->pool_ = std::make_shared<BufferPool>(options.pool_bytes);
+      // The pager's compression options drive the pool's cold tier too
+      // (an injected shared pool keeps whatever its creator chose).
+      pager->pool_ = std::make_shared<BufferPool>(options.pool_bytes,
+                                                  options.compression);
     }
     if (pager->pool_ != nullptr) {
       pager->pool_owner_ = BufferPool::NextOwnerId();
@@ -153,6 +156,9 @@ Result<std::unique_ptr<Pager>> Pager::Open(std::string path,
   pager->checkpoint_latency_us_ = reg.GetHistogram(
       "bp_pager_checkpoint_us", "",
       "WAL checkpoint (sync + fold + log reset) latency (us)");
+  pager->decompress_latency_us_ = reg.GetHistogram(
+      "bp_decompress_us", "",
+      "Main-file compressed page frame decode latency (us)");
   Pager* raw = pager.get();
   pager->metrics_token_ = reg.AddCollector(
       [raw](obs::CollectionSink& sink) { raw->CollectMetrics(sink); });
@@ -344,11 +350,14 @@ Status Pager::RecoverFromWal() {
   BP_ASSIGN_OR_RETURN(
       wal::CheckpointResult folded,
       wal::Checkpointer::FoldStreams(options_.env, file_.get(), paths,
-                                     options_.sync));
+                                     options_.sync, options_.compression));
   if (folded.synced_db) {
     ++stats_.sync.fsyncs;
     stats_.sync.bytes_synced += folded.bytes_written;
   }
+  stats_.compressed_pages.Inc(folded.pages_compressed);
+  stats_.compressed_bytes.Inc(folded.compressed_bytes);
+  stats_.compressible_raw_bytes.Inc(folded.raw_bytes_replaced);
   recovered_commit_seq_ = folded.last_commit_seq;
   // Idempotent up to here: a crash before (or between) these Removes
   // just refolds on the next Open — the fold is already durable, so a
@@ -491,7 +500,10 @@ Status Pager::Checkpoint() {
   BP_ASSIGN_OR_RETURN(
       wal::CheckpointResult folded,
       wal::Checkpointer::FoldStreams(options_.env, file_.get(), paths,
-                                     /*sync=*/false));
+                                     /*sync=*/false, options_.compression));
+  stats_.compressed_pages.Inc(folded.pages_compressed);
+  stats_.compressed_bytes.Inc(folded.compressed_bytes);
+  stats_.compressible_raw_bytes.Inc(folded.raw_bytes_replaced);
   if (folded.ran) {
     // Transactions that never dirtied the header page leave the folded
     // on-disk commit_seq stale; rewrite it from the authoritative
@@ -612,6 +624,7 @@ void Pager::ReleaseSnapshot(const SnapshotStats& final_stats) {
   retired_snapshot_stats_.pages_read += final_stats.pages_read;
   retired_snapshot_stats_.cache_hits += final_stats.cache_hits;
   retired_snapshot_stats_.pool_hits += final_stats.pool_hits;
+  retired_snapshot_stats_.decompress_reads += final_stats.decompress_reads;
 }
 
 Status Pager::Begin(WriteDomain domain) {
@@ -882,6 +895,22 @@ Result<internal::Frame*> Pager::FetchFrame(PageId id) {
     BP_RETURN_IF_ERROR(
         file_->Read(uint64_t{id} * kPageSize, kPageSize, &frame->data));
     stats_.pages_read.Inc();
+    // Checkpointed slots may hold a compressed frame (self-describing,
+    // checksummed — see storage/compress.hpp); decode back to the raw
+    // page. Handled even with compression off, so a database written
+    // with compression=fast reopens under any options.
+    if (compress::LooksLikeFrame(frame->data)) {
+      obs::ScopedTimerUs decode_timer(decompress_latency_us_);
+      std::string raw;
+      BP_RETURN_IF_ERROR(compress::Decompress(frame->data, &raw));
+      if (raw.size() != kPageSize) {
+        return Status::Corruption(util::StrFormat(
+            "page %u: compressed frame decodes to %zu bytes", id,
+            raw.size()));
+      }
+      frame->data = std::move(raw);
+      stats_.decompress_reads.Inc();
+    }
   } else {
     // Allocated this transaction: nothing on disk yet.
     frame->data.assign(kPageSize, '\0');
@@ -1018,6 +1047,25 @@ void Pager::MaybeEvict() {
   }
 }
 
+uint64_t Pager::OnDiskPageBytes(PageId id) const {
+  // WAL-resident and not-yet-folded pages occupy a raw page image (in
+  // the log / nothing yet); only checkpointed main-file slots can hold
+  // a compressed frame.
+  if (id >= main_file_pages_ || wal_index_.count(id) > 0) return kPageSize;
+  std::string head;
+  if (!file_->Read(uint64_t{id} * kPageSize, compress::kFrameHeaderSize,
+                   &head)
+           .ok()) {
+    return kPageSize;
+  }
+  auto info = compress::Inspect(head);
+  if (!info.ok()) return kPageSize;  // raw slot
+  // Physical bytes = header + payload; the rest of the slot is the
+  // hole-punchable zero tail. Clamp: this is accounting, not decoding,
+  // so a garbled size field must not report more than the slot.
+  return std::min<uint64_t>(info->stored_size, kPageSize);
+}
+
 bool Pager::CommittedImageKey(PageId id, PageImageKey* key) const {
   if (pool_ == nullptr) return false;  // also covers journal mode
   key->owner = pool_owner_;
@@ -1083,6 +1131,10 @@ PagerStats Pager::stats() const {
       stats_.sync.group_commits.load(std::memory_order_relaxed);
   out.fsync_overlaps =
       stats_.sync.fsync_overlaps.load(std::memory_order_relaxed);
+  out.compressed_pages = stats_.compressed_pages.load();
+  out.compressed_bytes = stats_.compressed_bytes.load();
+  out.compressible_raw_bytes = stats_.compressible_raw_bytes.load();
+  out.decompress_reads = stats_.decompress_reads.load();
   if (pool_ != nullptr) {
     BufferPoolStats pool = pool_->stats();
     out.pool_hits = pool.hits;
@@ -1091,12 +1143,18 @@ PagerStats Pager::stats() const {
     out.pool_bytes = pool.bytes;
     out.pool_frames = pool.frames;
     out.pool_pinned_bytes = pool.pinned_bytes;
+    out.pool_cold_demotions = pool.cold_demotions;
+    out.pool_cold_hits = pool.cold_hits;
+    out.pool_cold_evictions = pool.cold_evictions;
+    out.pool_cold_bytes = pool.cold_bytes;
+    out.pool_cold_frames = pool.cold_frames;
   }
   {
     util::MutexLock lock(commit_mu_);
     out.snapshot_pages_read = retired_snapshot_stats_.pages_read;
     out.snapshot_cache_hits = retired_snapshot_stats_.cache_hits;
     out.snapshot_pool_hits = retired_snapshot_stats_.pool_hits;
+    out.decompress_reads += retired_snapshot_stats_.decompress_reads;
   }
   return out;
 }
@@ -1138,6 +1196,18 @@ void Pager::CollectMetrics(obs::CollectionSink& sink) const {
           s.snapshot_cache_hits);
   counter("bp_snapshot_pool_hits", "Snapshot shared-pool hits",
           s.snapshot_pool_hits);
+  counter("bp_pager_compressed_pages",
+          "Pages folded as compressed frames at checkpoint",
+          s.compressed_pages);
+  counter("bp_pager_compressed_bytes",
+          "Physical frame bytes written for compressed pages",
+          s.compressed_bytes);
+  counter("bp_pager_compressible_raw_bytes",
+          "Raw page bytes replaced by compressed frames",
+          s.compressible_raw_bytes);
+  counter("bp_pager_decompress_reads",
+          "Main-file reads that decoded a compressed frame",
+          s.decompress_reads);
   if (pool_ != nullptr) {
     counter("bp_pool_hits", "Buffer pool lookup hits", s.pool_hits);
     counter("bp_pool_misses", "Buffer pool lookup misses", s.pool_misses);
@@ -1148,6 +1218,18 @@ void Pager::CollectMetrics(obs::CollectionSink& sink) const {
     gauge("bp_pool_pinned_bytes",
           "Pool bytes pinned by live readers (un-evictable floor)",
           s.pool_pinned_bytes);
+    counter("bp_pool_cold_demotions",
+            "Pool evictions demoted into the compressed cold tier",
+            s.pool_cold_demotions);
+    counter("bp_pool_cold_hits",
+            "Pool misses rescued by decompressing a cold frame",
+            s.pool_cold_hits);
+    counter("bp_pool_cold_evictions", "Cold-tier frames aged out",
+            s.pool_cold_evictions);
+    gauge("bp_pool_cold_bytes", "Resident cold-tier (compressed) bytes",
+          s.pool_cold_bytes);
+    gauge("bp_pool_cold_frames", "Resident cold-tier frames",
+          s.pool_cold_frames);
   }
   if (wal_mode()) {
     for (uint32_t d = 0; d < write_domains_; ++d) {

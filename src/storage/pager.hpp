@@ -90,6 +90,7 @@
 #include <vector>
 
 #include "storage/buffer_pool.hpp"
+#include "storage/compress.hpp"
 #include "storage/env.hpp"
 #include "storage/page.hpp"
 #include "util/mutex.hpp"
@@ -172,6 +173,12 @@ struct PagerOptions {
   // roots, the catalog) disappear. Costs one page copy per dirty page
   // per commit; turn off for write-only workloads.
   bool pool_publish_on_commit = true;
+  // Page compression (see storage/compress.hpp). With mode=kFast,
+  // checkpoints fold eligible pages into compressed frames (the WAL hot
+  // path stays raw), and the buffer pool demotes evicted frames into a
+  // compressed cold tier. Default mode comes from the BP_COMPRESSION
+  // environment variable; unset means off.
+  compress::CompressionOptions compression;
 };
 
 // Read-path counters of one Snapshot (storage/snapshot.hpp): where its
@@ -181,6 +188,8 @@ struct SnapshotStats {
   uint64_t pages_read = 0;  // log/database file reads (missed everywhere)
   uint64_t cache_hits = 0;  // L1: the snapshot's own memo
   uint64_t pool_hits = 0;   // L2: the shared versioned buffer pool
+  // Main-file reads that decoded a compressed checkpoint frame.
+  uint64_t decompress_reads = 0;
 };
 
 struct PagerStats {
@@ -219,6 +228,23 @@ struct PagerStats {
   uint64_t pool_frames = 0;  // resident frames right now
   // Pool bytes currently pinned by live readers (see BufferPoolStats).
   uint64_t pool_pinned_bytes = 0;
+  // Compressed cold tier of the pool (all zero with compression off):
+  // evictions demoted into compressed frames, pool misses rescued by
+  // decompressing a cold frame, cold frames aged out entirely, and the
+  // tier's resident footprint (counted inside pool_bytes' budget).
+  uint64_t pool_cold_demotions = 0;
+  uint64_t pool_cold_hits = 0;
+  uint64_t pool_cold_evictions = 0;
+  uint64_t pool_cold_bytes = 0;
+  uint64_t pool_cold_frames = 0;
+  // Checkpoint compression (compression=fast): pages folded as
+  // compressed frames, the physical frame bytes written for them, the
+  // raw bytes those frames replace, and reads (live + snapshot) that
+  // decoded a compressed main-file page.
+  uint64_t compressed_pages = 0;
+  uint64_t compressed_bytes = 0;
+  uint64_t compressible_raw_bytes = 0;
+  uint64_t decompress_reads = 0;
   // Snapshot read-path totals, folded in as each snapshot is released
   // (live snapshots report through their own SnapshotStats until then):
   // log/database reads, L1 memo hits, and shared-pool hits issued by
@@ -344,6 +370,13 @@ class Pager {
   uint64_t FileBytes() const {
     return static_cast<uint64_t>(page_count_) * kPageSize;
   }
+
+  // Physical bytes page `id` occupies on disk: the compressed frame's
+  // header+payload when its checkpoint slot holds one (the slot is
+  // still padded to kPageSize, but only the frame bytes are live — the
+  // hole-punch model), kPageSize otherwise (raw slot, WAL-resident, or
+  // not yet folded). Writer thread only (peeks the main file).
+  uint64_t OnDiskPageBytes(PageId id) const;
 
   // Test hook: when set, Commit() stops right after the journal fsync and
   // returns Aborted — simulating a crash between journal and database
@@ -640,6 +673,10 @@ class Pager {
     StatCell evictions;
     StatCell wal_frames;
     StatCell checkpoints;
+    StatCell compressed_pages;
+    StatCell compressed_bytes;
+    StatCell compressible_raw_bytes;
+    StatCell decompress_reads;
     // Multi-thread counters (fsync paths), on their own line.
     struct alignas(64) {
       std::atomic<uint64_t> fsyncs{0};
@@ -658,6 +695,7 @@ class Pager {
   obs::Histogram* fsync_latency_us_ = nullptr;
   obs::Histogram* group_commit_txns_ = nullptr;
   obs::Histogram* checkpoint_latency_us_ = nullptr;
+  obs::Histogram* decompress_latency_us_ = nullptr;
   uint64_t metrics_token_ = 0;  // collector handle; removed in ~Pager
 };
 

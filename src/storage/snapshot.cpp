@@ -1,5 +1,7 @@
 #include "storage/snapshot.hpp"
 
+#include "obs/metrics.hpp"
+#include "storage/compress.hpp"
 #include "util/require.hpp"
 #include "util/strings.hpp"
 #include "wal/wal_writer.hpp"
@@ -83,6 +85,22 @@ Result<std::shared_ptr<const std::string>> Snapshot::ReadPage(
     BP_RETURN_IF_ERROR(
         pager_->file_->Read(uint64_t{id} * kPageSize, kPageSize,
                             page.get()));
+    // Checkpointed slots may hold a compressed frame (self-describing,
+    // checksummed — storage/compress.hpp). Decode BEFORE memoizing or
+    // publishing: pool images are always raw pages (the pool compresses
+    // into its own cold tier), and the writer trusts pooled images.
+    if (compress::LooksLikeFrame(*page)) {
+      obs::ScopedTimerUs decode_timer(pager_->decompress_latency_us_);
+      std::string raw;
+      BP_RETURN_IF_ERROR(compress::Decompress(*page, &raw));
+      if (raw.size() != kPageSize) {
+        return Status::Corruption(util::StrFormat(
+            "snapshot page %u: compressed frame decodes to %zu bytes", id,
+            raw.size()));
+      }
+      *page = std::move(raw);
+      decompress_reads_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   pages_read_.fetch_add(1, std::memory_order_relaxed);
 

@@ -89,6 +89,8 @@ class Snapshot {
     out.pages_read = pages_read_.load(std::memory_order_relaxed);
     out.cache_hits = cache_hits_.load(std::memory_order_relaxed);
     out.pool_hits = pool_hits_.load(std::memory_order_relaxed);
+    out.decompress_reads =
+        decompress_reads_.load(std::memory_order_relaxed);
     return out;
   }
 
@@ -134,6 +136,7 @@ class Snapshot {
   mutable std::atomic<uint64_t> pages_read_{0};
   mutable std::atomic<uint64_t> cache_hits_{0};
   mutable std::atomic<uint64_t> pool_hits_{0};
+  mutable std::atomic<uint64_t> decompress_reads_{0};
 };
 
 // Read-only view of one page from either source: a pinned frame of the

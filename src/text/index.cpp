@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "storage/compress.hpp"
 #include "storage/pager.hpp"
 #include "util/require.hpp"
 #include "util/serde.hpp"
@@ -22,47 +23,26 @@ namespace {
 
 const std::string kStatsKey = "stats";
 
+// Postings blobs are delta+varint pairs: doc ids (sorted) as gaps, tf
+// verbatim. The byte format lives in storage::compress so the storage
+// diet shares one hardened integer codec; it is byte-identical to the
+// hand-rolled encoding earlier revisions wrote, so existing databases
+// read back unchanged.
 std::string EncodePostings(const std::vector<Posting>& postings) {
-  Writer w;
-  w.PutVarint64(postings.size());
-  DocId prev = 0;
-  for (const Posting& p : postings) {
-    w.PutVarint64(p.doc - prev);
-    w.PutVarint64(p.tf);
-    prev = p.doc;
-  }
-  return std::move(w).data();
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;
+  pairs.reserve(postings.size());
+  for (const Posting& p : postings) pairs.emplace_back(p.doc, p.tf);
+  return storage::compress::EncodeDeltaPairs(pairs);
 }
 
 Result<std::vector<Posting>> DecodePostings(std::string_view blob) {
-  Reader r(blob);
-  uint64_t n = r.ReadVarint64();
-  if (!r.ok()) {
-    return Status::Corruption("postings blob: truncated count varint");
-  }
-  // The count is untrusted until proven payload-backed: each posting is
-  // two varints of >= 1 byte each, so a count that two bytes per entry
-  // cannot cover is corrupt — reject it BEFORE reserve(n), which would
-  // otherwise turn one flipped byte into an unbounded allocation.
-  if (n > (blob.size() - r.position()) / 2) {
-    return Status::Corruption(util::StrFormat(
-        "postings blob: count %llu exceeds payload capacity (%zu bytes)",
-        (unsigned long long)n, blob.size()));
-  }
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;
+  BP_RETURN_IF_ERROR(storage::compress::DecodeDeltaPairs(blob, &pairs));
   std::vector<Posting> postings;
-  postings.reserve(n);
-  DocId prev = 0;
-  for (uint64_t i = 0; i < n; ++i) {
-    prev += r.ReadVarint64();
-    uint32_t tf = static_cast<uint32_t>(r.ReadVarint64());
-    if (!r.ok()) {
-      return Status::Corruption(util::StrFormat(
-          "postings blob: payload truncated at entry %llu of %llu",
-          (unsigned long long)i, (unsigned long long)n));
-    }
-    postings.push_back(Posting{prev, tf});
+  postings.reserve(pairs.size());
+  for (const auto& [doc, tf] : pairs) {
+    postings.push_back(Posting{doc, static_cast<uint32_t>(tf)});
   }
-  BP_RETURN_IF_ERROR(r.Finish());
   return postings;
 }
 

@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "storage/compress.hpp"
 #include "storage/env.hpp"
 #include "wal/wal_reader.hpp"
 
@@ -52,24 +53,39 @@ struct CheckpointResult {
   uint64_t last_commit_seq = 0;  // highest merged sequence folded
   uint32_t page_count = 0;       // database page count after the fold
   bool synced_db = false;
+  // Compression accounting (zero when folding uncompressed): pages
+  // whose slot got a compressed frame, the physical frame bytes those
+  // slots hold, and the raw page bytes they replace.
+  uint64_t pages_compressed = 0;
+  uint64_t compressed_bytes = 0;
+  uint64_t raw_bytes_replaced = 0;
 };
 
 class Checkpointer {
  public:
   // Folds committed frames of the single stream `wal_path` into
-  // `db_file` (step 2 above).
-  static util::Result<CheckpointResult> Fold(Env* env,
-                                             storage::File* db_file,
-                                             const std::string& wal_path,
-                                             bool sync);
+  // `db_file` (step 2 above). When `compression` is enabled, eligible
+  // pages (never page 0 — the header is read before any decoder exists)
+  // are folded as self-describing compressed frames, zero-padded to the
+  // page slot; incompressible pages (ratio floor) stay raw. Folding is
+  // still idempotent: refolding the same images rewrites byte-identical
+  // slots.
+  static util::Result<CheckpointResult> Fold(
+      Env* env, storage::File* db_file, const std::string& wal_path,
+      bool sync, const storage::compress::CompressionOptions& compression =
+                     storage::compress::CompressionOptions{
+                         storage::compress::CompressionOptions::Mode::kOff});
 
   // Folds the merged, mutually consistent prefix of several domain
   // streams into `db_file` (see file header). Missing stream files are
   // skipped; a Corruption from any present stream's file header is
-  // propagated.
+  // propagated. `compression` as for Fold.
   static util::Result<CheckpointResult> FoldStreams(
       Env* env, storage::File* db_file,
-      const std::vector<std::string>& stream_paths, bool sync);
+      const std::vector<std::string>& stream_paths, bool sync,
+      const storage::compress::CompressionOptions& compression =
+          storage::compress::CompressionOptions{
+              storage::compress::CompressionOptions::Mode::kOff});
 };
 
 }  // namespace bp::wal

@@ -1,0 +1,274 @@
+// Adversarial coverage for the storage compression codecs: round-trips
+// over pathological inputs, and the hard guarantee that truncated or
+// bit-flipped frames come back as Corruption — never as an out-of-bounds
+// read (this test stays in the ASan/TSan heavy list for that reason).
+#include "storage/compress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "storage/page.hpp"
+
+namespace bp::storage::compress {
+namespace {
+
+using util::Status;
+
+std::string RandomBytes(size_t n, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::string out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(static_cast<char>(byte(rng)));
+  return out;
+}
+
+std::string CompressibleBytes(size_t n, uint32_t seed) {
+  // Repetitive structure with mild noise — the shape of a B-tree page.
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> byte(0, 7);
+  std::string out;
+  out.reserve(n);
+  while (out.size() < n) {
+    std::string run = "https://example.com/path/";
+    run.push_back(static_cast<char>('a' + byte(rng)));
+    out.append(run, 0, std::min(run.size(), n - out.size()));
+  }
+  return out;
+}
+
+void ExpectRoundTrip(Codec codec, const std::string& raw) {
+  const std::string frame = Compress(codec, raw);
+  ASSERT_TRUE(LooksLikeFrame(frame));
+  auto info = Inspect(frame);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->codec, codec);
+  EXPECT_EQ(info->raw_size, raw.size());
+  EXPECT_EQ(info->stored_size, frame.size());
+  std::string back;
+  Status st = Decompress(frame, &back);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(back, raw);
+}
+
+TEST(CompressFrame, RoundTripEmpty) {
+  ExpectRoundTrip(Codec::kNone, "");
+  ExpectRoundTrip(Codec::kLz, "");
+  ExpectRoundTrip(Codec::kIntDelta, "");
+}
+
+TEST(CompressFrame, RoundTripTiny) {
+  for (size_t n = 1; n <= 8; ++n) {
+    ExpectRoundTrip(Codec::kLz, std::string(n, 'x'));
+    ExpectRoundTrip(Codec::kLz, RandomBytes(n, 17 + n));
+  }
+}
+
+TEST(CompressFrame, RoundTripAllZero) {
+  const std::string zeros(kPageSize, '\0');
+  const std::string frame = Compress(Codec::kLz, zeros);
+  // An all-zero page must compress dramatically (it is the padding /
+  // fresh-page case).
+  EXPECT_LT(frame.size(), kPageSize / 16);
+  ExpectRoundTrip(Codec::kLz, zeros);
+  ExpectRoundTrip(Codec::kIntDelta, zeros);
+}
+
+TEST(CompressFrame, RoundTripIncompressibleRandom) {
+  const std::string noise = RandomBytes(kPageSize, 42);
+  ExpectRoundTrip(Codec::kLz, noise);
+  // Literal-run overhead must stay small even on pure noise.
+  EXPECT_LT(Compress(Codec::kLz, noise).size(), kPageSize + 64);
+}
+
+TEST(CompressFrame, RoundTripCompressible) {
+  const std::string page = CompressibleBytes(kPageSize, 7);
+  ExpectRoundTrip(Codec::kLz, page);
+  EXPECT_LT(Compress(Codec::kLz, page).size(), kPageSize / 2);
+}
+
+TEST(CompressFrame, RoundTripMaxSizeBlock) {
+  // Largest block the engine compresses in one frame today (a page),
+  // plus a deliberately larger 256 KiB stress block exercising long
+  // matches and literal runs >= 15 (the 255-run extension encoding).
+  ExpectRoundTrip(Codec::kLz, CompressibleBytes(kPageSize, 3));
+  std::string big = CompressibleBytes(256 * 1024, 5);
+  big += RandomBytes(4096, 9);
+  big += std::string(4096, '\7');
+  ExpectRoundTrip(Codec::kLz, big);
+}
+
+TEST(CompressFrame, RoundTripManySeeds) {
+  for (uint32_t seed = 0; seed < 32; ++seed) {
+    std::string mixed = CompressibleBytes(512 + seed * 37, seed);
+    mixed += RandomBytes(256 + seed * 11, seed ^ 0xbeef);
+    ExpectRoundTrip(Codec::kLz, mixed);
+  }
+}
+
+TEST(CompressFrame, IntDeltaRoundTrip) {
+  // Sorted id arrays are the sweet spot.
+  std::string raw;
+  uint64_t v = 1000;
+  for (int i = 0; i < 512; ++i) {
+    v += 3 + (i % 5);
+    for (size_t b = 0; b < 8; ++b) raw.push_back(static_cast<char>(v >> (8 * b)));
+  }
+  ExpectRoundTrip(Codec::kIntDelta, raw);
+  EXPECT_LT(Compress(Codec::kIntDelta, raw).size(), raw.size() / 2);
+  // Unsorted (negative deltas) must still round-trip via zig-zag.
+  ExpectRoundTrip(Codec::kIntDelta, RandomBytes(512 * 8, 11));
+}
+
+TEST(CompressFrame, TrailingPaddingIgnored) {
+  // Page slots are zero-padded to kPageSize; Decompress must use the
+  // header's payload size and ignore the tail.
+  const std::string raw = CompressibleBytes(kPageSize, 21);
+  std::string slot = Compress(Codec::kLz, raw);
+  ASSERT_LT(slot.size(), kPageSize);
+  slot.resize(kPageSize, '\0');
+  std::string back;
+  ASSERT_TRUE(Decompress(slot, &back).ok());
+  EXPECT_EQ(back, raw);
+}
+
+TEST(CompressFrame, EveryTruncationIsCorruption) {
+  const std::string raw = CompressibleBytes(2048, 13);
+  for (Codec codec : {Codec::kNone, Codec::kLz, Codec::kIntDelta}) {
+    const std::string frame =
+        Compress(codec, codec == Codec::kIntDelta ? raw.substr(0, 2040) : raw);
+    for (size_t cut = 0; cut < frame.size(); ++cut) {
+      std::string truncated = frame.substr(0, cut);
+      std::string out;
+      Status st = Decompress(truncated, &out);
+      EXPECT_TRUE(st.IsCorruption())
+          << "codec " << static_cast<int>(codec) << " cut at " << cut
+          << " -> " << st.ToString();
+    }
+  }
+}
+
+TEST(CompressFrame, EveryBitFlipIsCorruptionOrDetectedByChecksum) {
+  const std::string raw = CompressibleBytes(1024, 99);
+  const std::string frame = Compress(Codec::kLz, raw);
+  for (size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = frame;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      std::string out;
+      Status st = Decompress(flipped, &out);
+      // A flip in the magic makes it not-a-frame (Corruption via bad
+      // magic); anywhere else the checksum or size checks catch it. The
+      // invariant under test: never OK-with-wrong-bytes, never a crash.
+      if (st.ok()) {
+        EXPECT_EQ(out, raw) << "flip at byte " << byte << " bit " << bit;
+      } else {
+        EXPECT_TRUE(st.IsCorruption());
+      }
+    }
+  }
+}
+
+TEST(CompressFrame, AdversarialPayloadsNeverReadOutOfBounds) {
+  // Hand-build frames whose payloads lie about lengths/offsets: the LZ
+  // decoder must reject them all. We forge valid checksums so decode
+  // reaches the payload parser.
+  auto forge = [](std::string payload, uint32_t raw_size) {
+    // Re-frame via Compress(kNone) to get a valid header, then rewrite
+    // codec and raw_size and re-checksum by building manually.
+    std::string frame = Compress(Codec::kNone, payload);
+    frame[4] = static_cast<char>(Codec::kLz);
+    for (size_t b = 0; b < 4; ++b) {
+      frame[5 + b] = static_cast<char>(raw_size >> (8 * b));
+    }
+    return frame;
+  };
+  std::string out;
+  // Token promises 15+ext literals but payload ends.
+  EXPECT_TRUE(Decompress(forge("\xf0", 64), &out).IsCorruption());
+  // Match offset 0 (self-reference before any output).
+  EXPECT_TRUE(
+      Decompress(forge(std::string("\x04head\x00\x00", 7), 64), &out)
+          .IsCorruption());
+  // Offset larger than produced output.
+  EXPECT_TRUE(
+      Decompress(forge(std::string("\x14hello\xff\xff", 8), 64), &out)
+          .IsCorruption());
+  // Literal run larger than raw_size.
+  const std::string huge_run =
+      std::string("\xf0\xff\xff\xff") + std::string(1, '\0') + "abc";
+  EXPECT_TRUE(Decompress(forge(huge_run, 8), &out).IsCorruption());
+  // Unknown codec id.
+  std::string frame = Compress(Codec::kNone, "abc");
+  frame[4] = 7;
+  EXPECT_TRUE(Decompress(frame, &out).IsCorruption());
+  // Empty input / short header.
+  EXPECT_TRUE(Decompress("", &out).IsCorruption());
+  EXPECT_TRUE(Decompress("FCPB", &out).IsCorruption());
+  EXPECT_FALSE(LooksLikeFrame(""));
+}
+
+TEST(CompressFrame, RawPagesNeverMistakenForFrames) {
+  // Raw B-tree pages start with type byte 1/2/3; freelist pages with a
+  // u32 page id. The magic's low byte is 0x46, so only a real frame
+  // matches.
+  for (uint8_t type : {1, 2, 3}) {
+    std::string page(kPageSize, '\0');
+    page[0] = static_cast<char>(type);
+    EXPECT_FALSE(LooksLikeFrame(page));
+  }
+}
+
+TEST(DeltaPairs, RoundTripAndHardening) {
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;
+  uint64_t key = 5;
+  for (int i = 0; i < 1000; ++i) {
+    key += 1 + (i % 17);
+    pairs.emplace_back(key, static_cast<uint64_t>(i % 9 + 1));
+  }
+  const std::string blob = EncodeDeltaPairs(pairs);
+  std::vector<std::pair<uint64_t, uint64_t>> back;
+  ASSERT_TRUE(DecodeDeltaPairs(blob, &back).ok());
+  EXPECT_EQ(back, pairs);
+
+  // Every truncation is Corruption.
+  for (size_t cut = 0; cut < blob.size(); ++cut) {
+    EXPECT_TRUE(DecodeDeltaPairs(blob.substr(0, cut), &back).IsCorruption());
+  }
+  // A count that the payload cannot back is rejected before reserve().
+  std::string lying = "\xff\xff\xff\xff\x0f";  // count ~2^32, no payload
+  EXPECT_TRUE(DecodeDeltaPairs(lying, &back).IsCorruption());
+  // Trailing garbage is rejected.
+  std::string trailing = blob + "x";
+  EXPECT_TRUE(DecodeDeltaPairs(trailing, &back).IsCorruption());
+  // Empty list round-trips.
+  ASSERT_TRUE(DecodeDeltaPairs(EncodeDeltaPairs({}), &back).ok());
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(Policy, RatioFloorFiltersIncompressible) {
+  CompressionOptions on;
+  on.mode = CompressionOptions::Mode::kFast;
+  // Compressible page -> a frame comes back, smaller than the floor.
+  const std::string page = CompressibleBytes(kPageSize, 4);
+  std::string frame = MaybeCompressPage(on, page);
+  ASSERT_FALSE(frame.empty());
+  EXPECT_LE(frame.size(),
+            static_cast<size_t>(on.ratio_floor * kPageSize));
+  std::string back;
+  ASSERT_TRUE(Decompress(frame, &back).ok());
+  EXPECT_EQ(back, page);
+  // Random page -> stored raw.
+  EXPECT_TRUE(MaybeCompressPage(on, RandomBytes(kPageSize, 5)).empty());
+  // Disabled -> always raw.
+  CompressionOptions off;
+  off.mode = CompressionOptions::Mode::kOff;
+  EXPECT_TRUE(MaybeCompressPage(off, page).empty());
+}
+
+}  // namespace
+}  // namespace bp::storage::compress

@@ -194,8 +194,10 @@ struct TxnBoundary {
 // would not merely differ, it would be semantically inconsistent (the
 // exact-state check below subsumes the marker check; the marker makes
 // the workload's cross-domain dependency real rather than incidental).
-void RunCrossStreamCrashInjection(uint32_t wal_group_commit,
-                                  uint64_t checkpoint_bytes) {
+void RunCrossStreamCrashInjection(
+    uint32_t wal_group_commit, uint64_t checkpoint_bytes,
+    storage::compress::CompressionOptions::Mode compression =
+        storage::compress::CompressionOptions::Mode::kOff) {
   MemEnv env;
   DbOptions opts;
   opts.env = &env;
@@ -203,6 +205,7 @@ void RunCrossStreamCrashInjection(uint32_t wal_group_commit,
   opts.write_domains = 2;
   opts.wal_group_commit = wal_group_commit;
   opts.wal_checkpoint_bytes = checkpoint_bytes;
+  opts.compression.mode = compression;
 
   // Set up the database (catalog + both trees) BEFORE logging starts,
   // so every crash point has a well-formed database underneath it.
@@ -336,6 +339,26 @@ TEST(CrossStreamCrashInjectionPropertyTest, GroupedCommitsEveryPrefix) {
   // produce a contiguous prefix. Large checkpoint threshold keeps both
   // logs long.
   RunCrossStreamCrashInjection(3, 4 << 20);
+}
+
+TEST(CrossStreamCrashInjectionPropertyTest,
+     CompressedCheckpointsEveryPrefix) {
+  // The storage diet on, with the small checkpoint threshold so folds
+  // (now writing compressed frames into checkpoint slots) land inside
+  // the crash window: every prefix must still recover to a boundary
+  // state, with recovery reading back a MIX of compressed and raw
+  // slots. Idempotence matters here too — a re-run fold after a crash
+  // mid-checkpoint must overwrite slots byte-identically.
+  RunCrossStreamCrashInjection(
+      1, 24 * kPageSize, storage::compress::CompressionOptions::Mode::kFast);
+}
+
+TEST(CrossStreamCrashInjectionPropertyTest,
+     CompressedGroupedCommitsEveryPrefix) {
+  // Diet + group commit: torn unsynced windows on both streams with
+  // compression enabled in both WAL streams' fold path.
+  RunCrossStreamCrashInjection(
+      3, 4 << 20, storage::compress::CompressionOptions::Mode::kFast);
 }
 
 }  // namespace

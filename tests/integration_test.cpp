@@ -96,6 +96,33 @@ TEST_F(IntegrationTest, SpaceReportSeparatesSchemas) {
   EXPECT_LT(prov_bytes, places_bytes * 6);
 }
 
+TEST_F(IntegrationTest, StorageOverheadDecomposition) {
+  // Regression pin for bench_storage_overhead's replace_overhead_pct
+  // exceeding the paper's 39.5% (often > 100%): the excess comes from
+  // the access-path indexes (prov.in / prov.out adjacency postings,
+  // prov.url_index) that store each edge and node key redundantly so
+  // traces run without scans — the paper's SQLite schema reused Places'
+  // own indexes and counted none of that. Two bounds pin the
+  // explanation: the CORE graph data (nodes + edges) must stay the same
+  // order as the Places baseline (node versioning makes the exact ratio
+  // config-dependent, but a blow-up means the schema itself bloated),
+  // and the indexes must be a major share of the prov footprint (if
+  // they ever shrink to noise while the overhead stays > 100%, the
+  // bench's explanation is no longer true).
+  auto space = db_->Space();
+  ASSERT_TRUE(space.ok());
+  const uint64_t places_bytes = space->BytesForPrefix("places.");
+  const uint64_t prov_bytes = space->BytesForPrefix("prov.");
+  const uint64_t core_bytes = space->BytesForPrefix("prov.nodes") +
+                              space->BytesForPrefix("prov.edges");
+  const uint64_t index_bytes = prov_bytes - core_bytes;
+  ASSERT_GT(core_bytes, 0u);
+  EXPECT_LT(core_bytes, places_bytes * 2)
+      << "core graph (nodes+edges) must stay the same order as Places";
+  EXPECT_GT(index_bytes, core_bytes / 2)
+      << "the access-path indexes are where the overhead lives";
+}
+
 TEST_F(IntegrationTest, ContextualBeatsTextualOnEpisodes) {
   // Over the sim's own search episodes, provenance reranking must place
   // the clicked page at least as well as plain text search, on average.

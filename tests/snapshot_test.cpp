@@ -166,6 +166,54 @@ TEST_F(SnapshotTest, CheckpointFailsWithOpenTransactionOrLiveSnapshot) {
   EXPECT_TRUE(db->pager().Checkpoint().ok());
 }
 
+TEST_F(SnapshotTest, SnapshotDecodesCompressedSlotsBeforePooling) {
+  // Regression: Snapshot::ReadPage used to publish a still-compressed
+  // checkpoint frame into the shared pool. Pool images must always be
+  // raw pages — the writer's FetchFrame trusts them — so the poisoned
+  // entry surfaced as a corrupt interior page on the writer's next
+  // descent through an evicted page.
+  DbOptions opts;
+  opts.env = &env_;
+  opts.sync = false;
+  opts.durability = DurabilityMode::kWal;
+  opts.compression.mode = compress::CompressionOptions::Mode::kFast;
+  opts.cache_pages = 8;  // force writer cache misses onto the pool
+  auto db = Db::Open("snapcomp.db", opts);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  BTree* tree = *(*db)->OpenOrCreateTree("t");
+  ASSERT_TRUE((*db)->Begin().ok());
+  for (uint64_t id = 0; id < 400; ++id) {
+    // Compressible URL-shaped values so the fold compresses the tree.
+    ASSERT_TRUE(tree->Put(util::OrderedKeyU64(id),
+                          util::StrFormat(
+                              "https://example.com/page/%04llu/section",
+                              (unsigned long long)id))
+                    .ok());
+  }
+  ASSERT_TRUE((*db)->Commit().ok());
+  ASSERT_TRUE((*db)->pager().Checkpoint().ok());
+  ASSERT_GT((*db)->pager().stats().compressed_pages, 0u);
+
+  {
+    // Snapshot reads pull the compressed slots out of the main file and
+    // publish every image they resolve into the shared pool.
+    auto snap = (*db)->BeginRead();
+    ASSERT_TRUE(snap.ok());
+    BTree frozen = tree->BoundAt(**snap);
+    for (uint64_t id = 0; id < 400; ++id) {
+      auto got = frozen.Get(util::OrderedKeyU64(id));
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ASSERT_NE(got->find("example.com"), std::string::npos);
+    }
+  }
+  // The writer (cache of 8 pages, long since evicted) now resolves its
+  // descent through the images the snapshot published.
+  EXPECT_EQ(*tree->Count(), 400u);
+  EXPECT_EQ(*tree->Get(util::OrderedKeyU64(7)),
+            "https://example.com/page/0007/section");
+  EXPECT_GT((*db)->pager().stats().decompress_reads, 0u);
+}
+
 TEST_F(SnapshotTest, AutomaticCheckpointDefersWhileSnapshotLive) {
   // Tiny threshold: normally every commit would checkpoint.
   auto db = OpenDb(DurabilityMode::kWal, /*checkpoint_bytes=*/4096);
